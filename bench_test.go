@@ -1,0 +1,394 @@
+// Benchmarks regenerating every table and experiment of DESIGN.md §3.
+// Each benchmark wraps the corresponding simulation runner; custom
+// metrics expose the experiment's headline numbers alongside the usual
+// ns/op. `go test -bench=. -benchmem` prints the full set; cmd/simulate
+// renders the same experiments as human-readable tables.
+package softreputation
+
+import (
+	"fmt"
+	"testing"
+
+	"softreputation/internal/core"
+	"softreputation/internal/repo"
+	"softreputation/internal/simulation"
+	"softreputation/internal/storedb"
+	"softreputation/internal/vclock"
+)
+
+// BenchmarkTable1Classification regenerates Table 1: the 3×3 PIS
+// classification of a 2,400-program catalog.
+func BenchmarkTable1Classification(b *testing.B) {
+	var res simulation.Table1Result
+	for i := 0; i < b.N; i++ {
+		res = simulation.RunTable1(simulation.DefaultCatalogConfig(1))
+	}
+	b.ReportMetric(float64(res.VerdictCounts[core.VerdictSpyware]), "grey-zone-programs")
+	b.ReportMetric(float64(res.Total), "programs")
+}
+
+// BenchmarkTable2Transform regenerates Table 2: the reputation-induced
+// elimination of the medium-consent row.
+func BenchmarkTable2Transform(b *testing.B) {
+	var res simulation.Table2Result
+	for i := 0; i < b.N; i++ {
+		res = simulation.RunTable2(simulation.DefaultCatalogConfig(1))
+	}
+	b.ReportMetric(float64(res.ToHigh), "grey-to-legitimate")
+	b.ReportMetric(float64(res.ToLow), "grey-to-malware")
+}
+
+// BenchmarkE1DatabaseScale reproduces the "well over 2000 rated
+// software programs" deployment claim and measures lookups at that
+// scale.
+func BenchmarkE1DatabaseScale(b *testing.B) {
+	var res simulation.ScaleResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunScale(simulation.ScaleConfig{
+			Seed: 1, Programs: 2500, Users: 300, VotesPerAgent: 20, Lookups: 500,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.RatedPrograms), "rated-programs")
+	b.ReportMetric(float64(res.LookupP50.Nanoseconds()), "lookup-p50-ns")
+}
+
+// BenchmarkE2TrustGrowth reproduces the trust-factor growth schedule.
+func BenchmarkE2TrustGrowth(b *testing.B) {
+	var res simulation.TrustGrowthResult
+	for i := 0; i < b.N; i++ {
+		res = simulation.RunTrustGrowth(30)
+	}
+	b.ReportMetric(float64(res.WeeksToCap+1), "weeks-to-cap")
+}
+
+// BenchmarkE3PromptThrottle reproduces the 50-execution / 2-per-week
+// rating-prompt policy.
+func BenchmarkE3PromptThrottle(b *testing.B) {
+	h, err := simulation.NewHarness(simulation.WorldConfig{
+		Seed:       3,
+		Catalog:    simulation.CatalogConfig{Seed: 3, Total: 10, LegitFrac: 1, Vendors: 2},
+		Population: simulation.PopulationConfig{Seed: 4, Total: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	var res simulation.PromptThrottleResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = simulation.RunPromptThrottle(simulation.PromptThrottleConfig{
+			Seed: 3, Programs: 20, Weeks: 4,
+			Threshold: 50, PerWeek: 2, RunsPerDay: 4,
+		}, h.World.Agents[0].Session, h.API, h.World.Clock)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.MaxPromptsInWeek), "max-prompts-per-week")
+	b.ReportMetric(res.InterruptionRate*1e4, "prompts-per-10k-execs")
+}
+
+// BenchmarkE4AggregationJob reproduces the 24-hour aggregation
+// schedule.
+func BenchmarkE4AggregationJob(b *testing.B) {
+	var res simulation.AggregationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunAggregationSchedule(4, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.RunsHappened), "aggregation-runs-3d")
+	b.ReportMetric(float64(res.MaxStaleness.Hours()), "max-staleness-h")
+}
+
+// BenchmarkE5ColdStart reproduces the cold-start / bootstrapping
+// ablation.
+func BenchmarkE5ColdStart(b *testing.B) {
+	var res simulation.ColdStartResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunColdStart(5, 200, []int{10, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var plainZero, bootZero float64
+	for _, row := range res.Rows {
+		if row.Users == 10 {
+			if row.Bootstrap {
+				bootZero = row.ZeroVoteFrac
+			} else {
+				plainZero = row.ZeroVoteFrac
+			}
+		}
+	}
+	b.ReportMetric(plainZero*100, "zero-vote-pct-plain")
+	b.ReportMetric(bootZero*100, "zero-vote-pct-boot")
+}
+
+// BenchmarkE6SybilDefences reproduces the vote-flooding defence sweep.
+func BenchmarkE6SybilDefences(b *testing.B) {
+	var res simulation.SybilResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunSybil(simulation.SybilConfig{
+			Seed: 6, HonestUsers: 60, HonestVotes: 30, SybilCount: 80, ExpertFrac: 0.2,
+			DefenceSweep: []simulation.SybilDefence{
+				{Name: "none"},
+				{Name: "shared-mailbox", SharedMailbox: true},
+				{Name: "trust", TrustWeeks: 6},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].ScoreShift, "shift-undefended")
+	b.ReportMetric(res.Rows[1].ScoreShift, "shift-email-hash")
+	b.ReportMetric(res.Rows[2].ScoreShift, "shift-trust")
+}
+
+// BenchmarkE7TrustWeighting reproduces the weighted-vs-unweighted
+// aggregation ablation under slander.
+func BenchmarkE7TrustWeighting(b *testing.B) {
+	var res simulation.TrustWeightingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunTrustWeighting(simulation.TrustWeightingConfig{
+			Seed: 7, Programs: 60, Users: 60,
+			ExpertFrac: 0.15, SlandererFrac: 0.25, TrustWeeks: 6, VotesPerAgent: 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WeightedRMSE, "rmse-weighted")
+	b.ReportMetric(res.UnweightedRMSE, "rmse-unweighted")
+}
+
+// BenchmarkE8Polymorphic reproduces the per-download re-hashing evasion
+// and the vendor-keying countermeasure.
+func BenchmarkE8Polymorphic(b *testing.B) {
+	var res simulation.PolymorphicResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunPolymorphic(simulation.PolymorphicConfig{
+			Seed: 8, Downloads: 200, Raters: 60,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.FileLevelCoverage*100, "file-coverage-pct")
+	b.ReportMetric(res.VendorScore, "vendor-score")
+}
+
+// BenchmarkE9Countermeasures reproduces the §4.3 comparison with
+// anti-virus and anti-spyware scanners.
+func BenchmarkE9Countermeasures(b *testing.B) {
+	var res simulation.CountermeasureResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunCountermeasures(simulation.CountermeasureConfig{
+			Seed: 9, Programs: 100, Users: 60, Days: 45, ExecutionsPerDay: 40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		switch row.Setup {
+		case "none":
+			b.ReportMetric(row.Harm, "harm-none")
+		case "anti-virus":
+			b.ReportMetric(row.Harm, "harm-av")
+		case "reputation":
+			b.ReportMetric(row.Harm, "harm-reputation")
+		case "reputation+av":
+			b.ReportMetric(row.Harm, "harm-combined")
+		}
+	}
+}
+
+// BenchmarkE10BreachPrivacy reproduces the database-breach experiment.
+func BenchmarkE10BreachPrivacy(b *testing.B) {
+	var res simulation.BreachResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunBreach(10, 30, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.EmailsCrackedPlain), "emails-cracked-plain")
+	b.ReportMetric(float64(res.EmailsCrackedPepper), "emails-cracked-peppered")
+}
+
+// BenchmarkE11Stability reproduces the §4.2 stability failure and the
+// signature-whitelist fix.
+func BenchmarkE11Stability(b *testing.B) {
+	var res simulation.StabilityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunStability(11, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.NaiveCrashes), "crashes-naive")
+	b.ReportMetric(float64(res.WhitelistCrashes), "crashes-whitelisted")
+}
+
+// BenchmarkE12PolicyManager reproduces the corporate-policy enforcement
+// accuracy.
+func BenchmarkE12PolicyManager(b *testing.B) {
+	var res simulation.PolicyManagerResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunPolicyManager(12, 120, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Accuracy*100, "policy-accuracy-pct")
+}
+
+// BenchmarkE13AnonymityOverhead reproduces the direct-vs-onion lookup
+// comparison.
+func BenchmarkE13AnonymityOverhead(b *testing.B) {
+	var res simulation.AnonymityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunAnonymity(13, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.DirectPerOp.Nanoseconds()), "direct-ns")
+	b.ReportMetric(float64(res.OnionPerOp.Nanoseconds()), "onion-ns")
+}
+
+// BenchmarkE15AnalysisEvidence reproduces the §5 runtime-analysis
+// extension: sandbox evidence vs community votes in the budding phase.
+func BenchmarkE15AnalysisEvidence(b *testing.B) {
+	var res simulation.AnalysisResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunAnalysisEvidence(simulation.AnalysisConfig{
+			Seed: 15, Programs: 150, Users: 25, VotesPerAgent: 6, SandboxRuns: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		switch row.Source {
+		case "community":
+			b.ReportMetric(row.PISFlagged*100, "pis-flagged-pct-community")
+		case "combined":
+			b.ReportMetric(row.PISFlagged*100, "pis-flagged-pct-combined")
+		}
+	}
+}
+
+// BenchmarkE16InstallStudy reproduces the §5 install-decision study:
+// PIS installs avoided per information level.
+func BenchmarkE16InstallStudy(b *testing.B) {
+	var res simulation.InstallStudyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunInstallStudy(simulation.InstallStudyConfig{
+			Seed: 16, Programs: 150, Users: 50, VotesPerAgent: 30, DecisionsPerUser: 15,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		switch row.Level {
+		case "score-only":
+			b.ReportMetric(row.PISAvoided*100, "pis-avoided-pct-score")
+		case "full report":
+			b.ReportMetric(row.PISAvoided*100, "pis-avoided-pct-full")
+		}
+	}
+}
+
+// BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
+// throughput into the embedded store through the full repository path.
+func BenchmarkE14StoredbIngest(b *testing.B) {
+	store := repo.OpenMemory()
+	defer store.Close()
+	now := vclock.Epoch
+
+	// Pre-create users and software once.
+	const users, programs = 200, 200
+	metas := make([]core.SoftwareMeta, programs)
+	for i := 0; i < programs; i++ {
+		content := []byte(fmt.Sprintf("program-%d", i))
+		metas[i] = core.SoftwareMeta{
+			ID: core.ComputeSoftwareID(content), FileName: fmt.Sprintf("p%d.exe", i),
+			FileSize: 10, Vendor: "Bench", Version: "1",
+		}
+		if _, err := store.UpsertSoftware(metas[i], now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < users; i++ {
+		u := repo.User{Username: fmt.Sprintf("u%06d", i), PasswordHash: "x",
+			EmailHash: fmt.Sprintf("h%06d", i), SignedUpAt: now, Activated: true,
+			Trust: core.NewTrust(now)}
+		if err := store.CreateUser(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := core.Rating{
+			UserID:   fmt.Sprintf("u%06d", i%users),
+			Software: metas[(i/users)%programs].ID,
+			Score:    1 + i%10,
+			At:       now,
+		}
+		if _, err := store.AddRating(r, ""); err != nil && err != repo.ErrAlreadyRated {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14StoredbRecovery measures crash recovery: reopening a
+// store whose WAL holds a burst of committed batches.
+func BenchmarkE14StoredbRecovery(b *testing.B) {
+	dir := b.TempDir()
+	db, err := storedb.Open(storedb.Options{Dir: dir, CompactEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := []byte(fmt.Sprintf("key-%06d", i))
+		err := db.Update(func(tx *storedb.Tx) error {
+			return tx.MustBucket("bench").Put(key, []byte("value"))
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := storedb.Open(storedb.Options{Dir: dir, CompactEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if db.Len() != 2000 {
+			b.Fatalf("recovered %d keys", db.Len())
+		}
+		db.Close()
+	}
+}

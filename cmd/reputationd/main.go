@@ -1,0 +1,112 @@
+// Command reputationd runs the reputation server: the XML API under
+// /api/, the HTML web view on /, a periodic 24-hour aggregation job,
+// and durable storage in the data directory.
+//
+// Activation tokens are printed to standard output (a deployment would
+// plug an SMTP Mailer into server.Config instead).
+//
+// Usage:
+//
+//	reputationd -addr :8080 -data ./data -pepper "a long secret"
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"softreputation/internal/repo"
+	"softreputation/internal/server"
+	"softreputation/internal/storedb"
+)
+
+// stdoutMailer prints activation mail instead of sending it.
+type stdoutMailer struct{}
+
+func (stdoutMailer) SendActivation(email, username, token string) {
+	log.Printf("activation mail to %s: user=%s token=%s", email, username, token)
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "./reputationd-data", "data directory")
+	pepper := flag.String("pepper", "", "secret string for e-mail hashing (required)")
+	captcha := flag.Bool("captcha", true, "require CAPTCHA at registration")
+	puzzle := flag.Int("puzzle", 0, "client-puzzle difficulty (0 disables)")
+	sync := flag.Bool("sync", false, "fsync every commit")
+	votesPerDay := flag.Int("votes-per-day", 0, "per-account daily vote budget (0 = unlimited)")
+	pseudonyms := flag.Bool("pseudonyms", false, "publish stable pseudonyms instead of usernames")
+	moderate := flag.Bool("moderate", false, "hold new comments for moderator approval (reputectl pending/approve)")
+	signupsPerIP := flag.Int("signups-per-ip", 0, "per-address daily signup budget (0 = unlimited)")
+	aggEvery := flag.Duration("aggregate-check", 10*time.Minute, "how often to check the 24h aggregation schedule")
+	flag.Parse()
+
+	if *pepper == "" {
+		log.Fatal("reputationd: -pepper is required; the e-mail hash is only private while the secret string is")
+	}
+
+	store, err := repo.Open(storedb.Options{Dir: *dataDir, SyncWrites: *sync})
+	if err != nil {
+		log.Fatalf("reputationd: open store: %v", err)
+	}
+	defer store.Close()
+
+	srv, err := server.New(server.Config{
+		Store:                 store,
+		EmailPepper:           *pepper,
+		RequireCaptcha:        *captcha,
+		PuzzleDifficulty:      *puzzle,
+		MaxVotesPerUserPerDay: *votesPerDay,
+		UsePseudonyms:         *pseudonyms,
+		ModerateComments:      *moderate,
+		MaxSignupsPerIPPerDay: *signupsPerIP,
+		Mailer:                stdoutMailer{},
+	})
+	if err != nil {
+		log.Fatalf("reputationd: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// The 24-hour aggregation job: the schedule itself lives in the
+	// store, so the ticker only needs to poll it.
+	go func() {
+		ticker := time.NewTicker(*aggEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if ran, err := srv.MaybeAggregate(); err != nil {
+					log.Printf("reputationd: aggregation: %v", err)
+				} else if ran {
+					log.Printf("reputationd: aggregation run complete")
+				}
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	st, _ := store.Stats()
+	fmt.Printf("reputationd: serving on %s (data %s: %d users, %d software, %d ratings)\n",
+		*addr, *dataDir, st.Users, st.Software, st.Ratings)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("reputationd: %v", err)
+	}
+	log.Println("reputationd: shut down")
+}

@@ -1,0 +1,108 @@
+package softreputation_test
+
+import (
+	"fmt"
+
+	"softreputation"
+	"softreputation/internal/core"
+)
+
+// ExampleComputeSoftwareID shows the §3.3 content-derived identity: the
+// ID changes with any change to the program bytes.
+func ExampleComputeSoftwareID() {
+	a := softreputation.ComputeSoftwareID([]byte("program bytes v1"))
+	b := softreputation.ComputeSoftwareID([]byte("program bytes v2"))
+	fmt.Println(a == b)
+	fmt.Println(len(a.String()))
+	// Output:
+	// false
+	// 40
+}
+
+// ExampleParsePolicy evaluates the paper's §4.2 corporate policy.
+func ExampleParsePolicy() {
+	pol, err := softreputation.ParsePolicy(`
+allow if signed-by-trusted
+allow if rating >= 7.5 and not behavior:displays-ads
+default deny
+`)
+	if err != nil {
+		panic(err)
+	}
+	clean := softreputation.PolicyContext{Rating: 8.1, Votes: 40}
+	adware := softreputation.PolicyContext{Rating: 8.1, Votes: 40}
+	adware.Behaviors, _ = softreputation.ParseBehavior("displays-ads")
+
+	fmt.Println(pol.Evaluate(clean))
+	fmt.Println(pol.Evaluate(adware))
+	fmt.Println(pol.Evaluate(softreputation.PolicyContext{}))
+	// Output:
+	// allow
+	// deny
+	// deny
+}
+
+// ExampleClassify maps the grey zone onto the paper's Table 1 cells.
+func ExampleClassify() {
+	cell := softreputation.Classify(core.ConsentMedium, core.ConsequenceModerate)
+	fmt.Println(cell)
+	fmt.Println(cell.Verdict())
+	// Output:
+	// unsolicited software
+	// spyware
+}
+
+// ExampleNewServer boots a complete in-memory reputation server and
+// walks one vote through it.
+func ExampleNewServer() {
+	store := softreputation.OpenMemoryStore()
+	defer store.Close()
+	srv, err := softreputation.NewServer(softreputation.ServerConfig{
+		Store:       store,
+		EmailPepper: "example-secret",
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Register + activate + login through the domain API.
+	if err := srv.Register(serverRegisterParams("alice")); err != nil {
+		panic(err)
+	}
+	mail, _ := srv.Mailer().(*softreputation.MemoryMailer).Read("alice@example.com")
+	if _, err := srv.Activate(mail.Token); err != nil {
+		panic(err)
+	}
+	session, err := srv.Login("alice", "pw")
+	if err != nil {
+		panic(err)
+	}
+
+	meta := softreputation.SoftwareMeta{
+		ID:       softreputation.ComputeSoftwareID([]byte("demo bytes")),
+		FileName: "demo.exe",
+		FileSize: 10,
+	}
+	if _, err := srv.Vote(session, meta, 9, 0, "works great"); err != nil {
+		panic(err)
+	}
+	if err := srv.RunAggregation(); err != nil {
+		panic(err)
+	}
+	rep, err := srv.Lookup(meta)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("score %.0f from %d vote(s)\n", rep.Score.Score, rep.Score.Votes)
+	// Output:
+	// score 9 from 1 vote(s)
+}
+
+// serverRegisterParams builds a minimal registration for the examples.
+func serverRegisterParams(user string) softreputation.RegisterParams {
+	return softreputation.RegisterParams{
+		Username: user,
+		Password: "pw",
+		Email:    user + "@example.com",
+	}
+}

@@ -1,0 +1,138 @@
+// Corporate policy: the §4.2 scenario — a site-wide rule that software
+// from trusted, signature-verified vendors always runs, other software
+// only with a community rating of at least 7.5 and no advertising
+// behaviour, and everything else is silently blocked. A simulated
+// workstation executes a mixed batch of programs through the real
+// client; the policy decides without a single user prompt.
+//
+// Run with: go run ./examples/corporatepolicy
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"softreputation"
+	"softreputation/internal/hostsim"
+	"softreputation/internal/vclock"
+)
+
+func main() {
+	// Reputation server with a pre-seeded database (imported from "an
+	// existing, more or less reliable, software rating database", §2.1).
+	store := softreputation.OpenMemoryStore()
+	defer store.Close()
+	srv, err := softreputation.NewServer(softreputation.ServerConfig{
+		Store:       store,
+		EmailPepper: "corporate-secret",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The platform vendor signs the OS components; IT trusts it.
+	osVendor, err := softreputation.NewSigner("Microsoft")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trust := softreputation.NewTrustStore()
+	trust.RegisterKey("Microsoft", osVendor.PublicKey())
+	trust.SetTrusted("Microsoft", true)
+
+	// Build the software the workstation will run.
+	goodTool := hostsim.Build(hostsim.Spec{
+		FileName: "editor.exe", Vendor: "HonestSoft", Version: "4.0", Seed: 1,
+	})
+	adBundle := hostsim.Build(hostsim.Spec{
+		FileName: "free-toolbar.exe", Vendor: "AdWarehouse", Version: "1.1", Seed: 2,
+	})
+	unknown := hostsim.Build(hostsim.Spec{
+		FileName: "mystery.exe", Vendor: "Nobody Knows", Version: "0.1", Seed: 3,
+	})
+
+	goodMeta, _ := goodTool.Meta()
+	adMeta, _ := adBundle.Meta()
+	err = srv.Bootstrap([]softreputation.BootstrapEntry{
+		{Meta: goodMeta, Score: 8.6, Votes: 210},
+		{Meta: adMeta, Score: 7.9, Votes: 150,
+			Behaviors: mustBehaviors("displays-ads,bundled-software")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	api := softreputation.NewAPI("http://" + ln.Addr().String())
+
+	// The §4.2 policy, verbatim in the DSL.
+	pol, err := softreputation.ParsePolicy(`
+# corporate workstation policy
+allow if signed-by-trusted
+allow if rating >= 7.5 and not behavior:displays-ads
+default deny
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prompts := 0
+	cl := softreputation.NewClient(softreputation.ClientConfig{
+		API:        api,
+		Clock:      vclock.NewVirtual(vclock.Epoch),
+		TrustStore: trust,
+		Policy:     pol,
+		Prompter: softreputation.PrompterFuncs{
+			Decide: func(meta softreputation.SoftwareMeta, rep softreputation.Report) bool {
+				prompts++
+				return false // the policy's default already denied; never reached
+			},
+		},
+	})
+
+	host := hostsim.NewHost("workstation-042")
+	host.SetHook(cl)
+	hostsim.InstallStandardSystem(host, osVendor)
+	host.Install("C:/Apps/editor.exe", goodTool)
+	host.Install("C:/Apps/free-toolbar.exe", adBundle)
+	host.Install("C:/Apps/mystery.exe", unknown)
+
+	now := vclock.Epoch
+	run := func(path string) {
+		res, err := host.Exec(path, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "BLOCKED"
+		if res.Allowed {
+			verdict = "allowed"
+		}
+		fmt.Printf("%-40s %s\n", path, verdict)
+	}
+
+	fmt.Println("enforcing policy:")
+	fmt.Println(pol)
+	for _, p := range hostsim.SystemProcessNames {
+		run(p)
+	}
+	run("C:/Apps/editor.exe")       // rating 8.6, clean -> allowed
+	run("C:/Apps/free-toolbar.exe") // rating 7.9 but shows ads -> blocked
+	run("C:/Apps/mystery.exe")      // unknown, unrated -> blocked by default
+
+	st := cl.Stats()
+	fmt.Printf("\npolicy allowed %d, denied %d; signature auto-allows %d; user prompts %d; host crashed: %v\n",
+		st.PolicyAllowed, st.PolicyDenied, st.AutoAllowedSignature, st.PromptsShown, host.Crashed())
+}
+
+func mustBehaviors(s string) softreputation.Behavior {
+	b, err := softreputation.ParseBehavior(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}

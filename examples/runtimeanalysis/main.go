@@ -1,0 +1,112 @@
+// Runtime analysis: the paper's §5 future-work pipeline in action. A
+// lab sandbox executes submitted samples, observes their behaviour and
+// publishes the findings as "hard evidence" into an expert feed; a
+// client subscribed to that feed sees the evidence at the execution
+// prompt even before any human has voted.
+//
+// Run with: go run ./examples/runtimeanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"softreputation"
+	"softreputation/internal/analysis"
+	"softreputation/internal/core"
+	"softreputation/internal/hostsim"
+	"softreputation/internal/vclock"
+)
+
+func main() {
+	store := softreputation.OpenMemoryStore()
+	defer store.Close()
+	srv, err := softreputation.NewServer(softreputation.ServerConfig{
+		Store:       store,
+		EmailPepper: "lab-secret",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	api := softreputation.NewAPI("http://" + ln.Addr().String())
+
+	// Fresh samples land in the lab queue: a keylogger, an ad bundle
+	// and a clean utility. Nobody has voted on any of them yet.
+	keylogger := hostsim.Build(hostsim.Spec{
+		FileName: "totally-a-game.exe", Vendor: "FunGames", Seed: 1,
+		Profile: hostsim.Profile{
+			Category:  core.CategorySemiParasite,
+			Behaviors: core.BehaviorKeylogging | core.BehaviorSendsPersonalData,
+		},
+	})
+	adBundle := hostsim.Build(hostsim.Spec{
+		FileName: "free-wallpapers.exe", Vendor: "AdHouse", Seed: 2,
+		Profile: hostsim.Profile{
+			Category:  core.CategoryUnsolicited,
+			Behaviors: core.BehaviorDisplaysAds | core.BehaviorBundledSoftware,
+		},
+	})
+	clean := hostsim.Build(hostsim.Spec{
+		FileName: "text-editor.exe", Vendor: "HonestSoft", Seed: 3,
+		Profile: hostsim.Profile{Category: core.CategoryLegitimate},
+	})
+
+	feed := srv.Feed("lab.example.org")
+	pipe := analysis.NewPipeline(analysis.NewSandbox(nil, 42), feed, 5)
+	for _, exe := range []*hostsim.Executable{keylogger, adBundle, clean} {
+		pipe.Submit(exe)
+	}
+	n, err := pipe.Drain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lab analysed %d samples, published into feed %q\n\n", n, feed.Name)
+
+	// A subscribed client executes the samples: the advice arrives at
+	// the prompt and the user (here: a cautious one) acts on it.
+	cl := softreputation.NewClient(softreputation.ClientConfig{
+		API:           api,
+		Clock:         vclock.NewVirtual(vclock.Epoch),
+		Subscriptions: []string{"lab.example.org"},
+		Prompter: softreputation.PrompterFuncs{
+			Decide: func(meta softreputation.SoftwareMeta, rep softreputation.Report) bool {
+				fmt.Printf("prompt for %s:\n", meta.FileName)
+				if len(rep.Advice) == 0 {
+					fmt.Println("  no lab evidence; user allows cautiously")
+					return true
+				}
+				a := rep.Advice[0]
+				fmt.Printf("  [%s] score %.1f — %s (%s)\n", a.Feed, a.Score, a.Behaviors, a.Note)
+				allow := a.Score >= 5
+				if allow {
+					fmt.Println("  user allows")
+				} else {
+					fmt.Println("  user denies based on the lab evidence")
+				}
+				return allow
+			},
+		},
+	})
+	host := hostsim.NewHost("desk-7")
+	host.SetHook(cl)
+	host.Install("C:/dl/totally-a-game.exe", keylogger)
+	host.Install("C:/dl/free-wallpapers.exe", adBundle)
+	host.Install("C:/dl/text-editor.exe", clean)
+
+	now := vclock.Epoch
+	for _, p := range []string{"C:/dl/totally-a-game.exe", "C:/dl/free-wallpapers.exe", "C:/dl/text-editor.exe"} {
+		res, err := host.Exec(p, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> %s: allowed=%v\n\n", p, res.Allowed)
+	}
+	fmt.Printf("host harm absorbed: %.1f (the keylogger never ran)\n", host.Harm())
+}

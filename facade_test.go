@@ -1,0 +1,134 @@
+package softreputation
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"softreputation/internal/core"
+	"softreputation/internal/vclock"
+)
+
+// TestPublicAPIEndToEnd drives the whole system through the exported
+// facade only: open a store, start a server, register/activate/login
+// over HTTP, vote, aggregate, look up, and enforce a policy.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	store := OpenMemoryStore()
+	defer store.Close()
+
+	clock := vclock.NewVirtual(vclock.Epoch)
+	srv, err := NewServer(ServerConfig{
+		Store:       store,
+		Clock:       clock,
+		EmailPepper: "facade-secret",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go http.Serve(ln, srv.Handler())
+	api := NewAPI("http://" + ln.Addr().String())
+
+	if err := api.Register(RegisterRequest{Username: "alice", Password: "pw", Email: "alice@example.com"}); err != nil {
+		t.Fatal(err)
+	}
+	mail, ok := srv.Mailer().(*MemoryMailer).Read("alice@example.com")
+	if !ok {
+		t.Fatal("no activation mail")
+	}
+	if _, err := api.Activate(mail.Token); err != nil {
+		t.Fatal(err)
+	}
+	session, err := api.Login("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	content := []byte("facade test executable")
+	meta := SoftwareMeta{
+		ID:       ComputeSoftwareID(content),
+		FileName: "facade.exe",
+		FileSize: int64(len(content)),
+		Vendor:   "Facade Corp",
+	}
+	behaviors, err := ParseBehavior("displays-ads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := api.Vote(session, meta, Rating{Score: 6, Behaviors: behaviors, Comment: "ads but works"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RunAggregation(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := api.Lookup(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Known || rep.Score != 6 || !rep.Behaviors.Has(behaviors) {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	pol, err := ParsePolicy("allow if rating >= 5 and not behavior:keylogging\ndefault deny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := PolicyContext{Rating: rep.Score, Votes: rep.Votes, Behaviors: rep.Behaviors, Known: true}
+	if got := pol.Evaluate(ctx); got.String() != "allow" {
+		t.Fatalf("policy decision = %v", got)
+	}
+}
+
+func TestFacadeStoresAndSigning(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Stats()
+	if err != nil || st.Users != 0 {
+		t.Fatalf("fresh store stats = %+v, %v", st, err)
+	}
+	store.Close()
+
+	syncStore, err := OpenStoreSync(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncStore.Close()
+
+	signer, err := NewSigner("Vendor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := NewTrustStore()
+	trust.RegisterKey("Vendor", signer.PublicKey())
+	trust.SetTrusted("Vendor", true)
+	content := []byte("bytes")
+	if !trust.VerifyTrusted(content, signer.Sign(content)) {
+		t.Fatal("facade signing flow broken")
+	}
+
+	if got := Classify(core.ConsentMedium, core.ConsequenceModerate); !strings.Contains(got.String(), "unsolicited") {
+		t.Fatalf("Classify = %v", got)
+	}
+}
+
+func TestFacadeClientConstruction(t *testing.T) {
+	c := NewClient(ClientConfig{
+		Clock: vclock.NewVirtual(vclock.Epoch),
+		Prompter: PrompterFuncs{
+			Decide: func(SoftwareMeta, Report) bool { return false },
+		},
+	})
+	id := ComputeSoftwareID([]byte("x"))
+	c.Blacklist(id)
+	if !c.IsBlacklisted(id) {
+		t.Fatal("facade client list broken")
+	}
+}

@@ -1,0 +1,3 @@
+module softreputation
+
+go 1.22

@@ -1,0 +1,97 @@
+package anonymity
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTransportEndToEnd(t *testing.T) {
+	// A plain HTTP server behind the mix network.
+	var sawPaths []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawPaths = append(sawPaths, r.URL.Path)
+		if r.Method == http.MethodPost {
+			body, _ := io.ReadAll(r.Body)
+			w.WriteHeader(http.StatusCreated)
+			io.WriteString(w, "posted:"+string(body))
+			return
+		}
+		io.WriteString(w, "hello "+r.URL.Query().Get("name"))
+	}))
+	defer ts.Close()
+
+	net := NewNetwork(4, time.Millisecond)
+	exit, err := HTTPExit(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuit, err := net.BuildCircuit("onion-client", 3, exit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpClient := &http.Client{Transport: NewTransport(circuit)}
+
+	// GET with a query string. The URL host is a placeholder: the exit
+	// decides the real destination.
+	resp, err := httpClient.Get("http://reputation.hidden/api/greet?name=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "hello alice" {
+		t.Fatalf("GET = %d %q", resp.StatusCode, body)
+	}
+
+	// POST with a body.
+	resp, err = httpClient.Post("http://reputation.hidden/api/vote", "text/plain",
+		strings.NewReader("score=7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 || string(body) != "posted:score=7" {
+		t.Fatalf("POST = %d %q", resp.StatusCode, body)
+	}
+
+	if len(sawPaths) != 2 || sawPaths[0] != "/api/greet" || sawPaths[1] != "/api/vote" {
+		t.Fatalf("server saw %v", sawPaths)
+	}
+	// Both requests traversed every relay.
+	for _, relay := range circuit.hops {
+		if relay.Processed() != 2 {
+			t.Fatalf("relay %s processed %d", relay.Name, relay.Processed())
+		}
+	}
+	trips, latency := circuit.Stats()
+	if trips != 2 || latency != 2*2*3*time.Millisecond {
+		t.Fatalf("stats = %d, %v", trips, latency)
+	}
+}
+
+func TestHTTPExitBadBase(t *testing.T) {
+	if _, err := HTTPExit("://bad", nil); err == nil {
+		t.Fatal("bad base url accepted")
+	}
+}
+
+func TestTransportErrorPropagation(t *testing.T) {
+	net := NewNetwork(3, 0)
+	exit, err := HTTPExit("http://127.0.0.1:1", nil) // nothing listening
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuit, err := net.BuildCircuit("c", 2, exit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpClient := &http.Client{Transport: NewTransport(circuit)}
+	if _, err := httpClient.Get("http://hidden/x"); err == nil {
+		t.Fatal("dead exit target did not error")
+	}
+}

@@ -1,0 +1,226 @@
+// Package client implements the reputation system's client side (§3.1):
+// the API client speaking the XML protocol, the execution-decision
+// engine behind the host's kernel hook with its white and black lists,
+// signature-based auto-allowing (§4.2), policy enforcement, and the
+// rating-prompt throttle (ask only after 50 executions, at most two
+// rating prompts per week).
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"softreputation/internal/core"
+	"softreputation/internal/wire"
+)
+
+// API is a client for the server's XML protocol. It is safe for
+// concurrent use.
+type API struct {
+	base string
+	http *http.Client
+}
+
+// NewAPI creates an API client for the server at baseURL. A nil
+// httpClient selects http.DefaultClient; passing a client with a custom
+// transport is how lookups are routed through the anonymity network.
+func NewAPI(baseURL string, httpClient *http.Client) *API {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &API{base: baseURL, http: httpClient}
+}
+
+// call POSTs req as XML to path and decodes the response into resp.
+// Wire-level errors come back as *wire.ErrorResponse.
+func (a *API) call(path string, req, resp interface{}) error {
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf, req); err != nil {
+		return err
+	}
+	httpResp, err := a.http.Post(a.base+path, wire.ContentType, &buf)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode/100 != 2 {
+		var werr wire.ErrorResponse
+		if err := wire.Decode(httpResp.Body, &werr); err != nil {
+			return fmt.Errorf("client: %s: status %s", path, httpResp.Status)
+		}
+		return &werr
+	}
+	if resp == nil {
+		return nil
+	}
+	return wire.Decode(httpResp.Body, resp)
+}
+
+// Challenge fetches the registration challenge.
+func (a *API) Challenge() (wire.ChallengeResponse, error) {
+	var out wire.ChallengeResponse
+	httpResp, err := a.http.Get(a.base + wire.PathChallenge)
+	if err != nil {
+		return out, fmt.Errorf("client: challenge: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode/100 != 2 {
+		return out, fmt.Errorf("client: challenge: status %s", httpResp.Status)
+	}
+	err = wire.Decode(httpResp.Body, &out)
+	return out, err
+}
+
+// Register submits a registration.
+func (a *API) Register(req wire.RegisterRequest) error {
+	return a.call(wire.PathRegister, req, &wire.RegisterResponse{})
+}
+
+// Activate redeems an activation token and returns the username.
+func (a *API) Activate(token string) (string, error) {
+	var resp wire.ActivateResponse
+	if err := a.call(wire.PathActivate, wire.ActivateRequest{Token: token}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Username, nil
+}
+
+// Login opens a session and returns its token.
+func (a *API) Login(username, password string) (string, error) {
+	var resp wire.LoginResponse
+	if err := a.call(wire.PathLogin, wire.LoginRequest{Username: username, Password: password}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Token, nil
+}
+
+// Report is the client-side view of a lookup response.
+type Report struct {
+	// Known reports whether the server had seen the executable before.
+	Known bool
+	// Score, Votes and Behaviors are the published aggregate.
+	Score     float64
+	Votes     int
+	Behaviors core.Behavior
+	// Vendor and its derived rating (§3.3).
+	Vendor      string
+	VendorScore float64
+	VendorCount int
+	// Comments are other users' comments.
+	Comments []wire.CommentInfo
+	// Advice holds subscribed expert feeds' entries (§4.2).
+	Advice []Advice
+}
+
+// Advice is one subscribed feed's judgement of an executable.
+type Advice struct {
+	// Feed names the publishing organisation.
+	Feed string
+	// Score is the feed's 1-10 grade.
+	Score float64
+	// Behaviors is the feed's behaviour assessment.
+	Behaviors core.Behavior
+	// Note is the feed's justification.
+	Note string
+}
+
+func metaToWire(meta core.SoftwareMeta) wire.SoftwareInfo {
+	return wire.SoftwareInfo{
+		ID:       meta.ID.String(),
+		FileName: meta.FileName,
+		FileSize: meta.FileSize,
+		Vendor:   meta.Vendor,
+		Version:  meta.Version,
+	}
+}
+
+// Lookup fetches the report for an executable, attaching advice from
+// any named expert-feed subscriptions (§4.2).
+func (a *API) Lookup(meta core.SoftwareMeta, feeds ...string) (Report, error) {
+	var resp wire.LookupResponse
+	req := wire.LookupRequest{Software: metaToWire(meta), Feeds: feeds}
+	if err := a.call(wire.PathLookup, req, &resp); err != nil {
+		return Report{}, err
+	}
+	behaviors, err := core.ParseBehavior(resp.Behaviors)
+	if err != nil {
+		return Report{}, fmt.Errorf("client: lookup behaviours: %w", err)
+	}
+	rep := Report{
+		Known:       resp.Known,
+		Score:       resp.Score,
+		Votes:       resp.Votes,
+		Behaviors:   behaviors,
+		Vendor:      resp.Vendor,
+		VendorScore: resp.VendorScore,
+		VendorCount: resp.VendorCount,
+		Comments:    resp.Comments,
+	}
+	for _, ai := range resp.Advice {
+		ab, err := core.ParseBehavior(ai.Behaviors)
+		if err != nil {
+			return Report{}, fmt.Errorf("client: advice behaviours: %w", err)
+		}
+		rep.Advice = append(rep.Advice, Advice{
+			Feed: ai.Feed, Score: ai.Score, Behaviors: ab, Note: ai.Note,
+		})
+	}
+	return rep, nil
+}
+
+// Rating is the user's answer to a rating prompt.
+type Rating struct {
+	// Score is the 1–10 grade.
+	Score int
+	// Behaviors are the behaviours the user observed.
+	Behaviors core.Behavior
+	// Comment is optional free text.
+	Comment string
+}
+
+// Vote casts the session user's vote on an executable and returns the
+// comment ID when a comment was attached.
+func (a *API) Vote(session string, meta core.SoftwareMeta, r Rating) (uint64, error) {
+	var resp wire.VoteResponse
+	err := a.call(wire.PathVote, wire.VoteRequest{
+		Session:   session,
+		Software:  metaToWire(meta),
+		Score:     r.Score,
+		Behaviors: r.Behaviors.String(),
+		Comment:   r.Comment,
+	}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	return resp.CommentID, nil
+}
+
+// Remark judges another user's comment.
+func (a *API) Remark(session string, commentID uint64, positive bool) error {
+	return a.call(wire.PathRemark, wire.RemarkRequest{
+		Session: session, CommentID: commentID, Positive: positive,
+	}, &wire.RemarkResponse{})
+}
+
+// Vendor fetches a vendor's derived rating.
+func (a *API) Vendor(name string) (wire.VendorResponse, error) {
+	var resp wire.VendorResponse
+	err := a.call(wire.PathVendor, wire.VendorRequest{Vendor: name}, &resp)
+	return resp, err
+}
+
+// Stats fetches the database summary.
+func (a *API) Stats() (wire.StatsResponse, error) {
+	var resp wire.StatsResponse
+	httpResp, err := a.http.Get(a.base + wire.PathStats)
+	if err != nil {
+		return resp, fmt.Errorf("client: stats: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode/100 != 2 {
+		return resp, fmt.Errorf("client: stats: status %s", httpResp.Status)
+	}
+	err = wire.Decode(httpResp.Body, &resp)
+	return resp, err
+}

@@ -1,0 +1,378 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"softreputation/internal/core"
+	"softreputation/internal/hostsim"
+	"softreputation/internal/policy"
+	"softreputation/internal/signature"
+	"softreputation/internal/vclock"
+)
+
+// Rating-prompt throttle defaults from §3.1: "The user is only asked to
+// rate software which he has executed more than a predefined number of
+// times, currently 50 times. … there is also a threshold on the number
+// of software the user is asked to rate each week, currently two
+// ratings per week."
+const (
+	DefaultRatingPromptThreshold = 50
+	DefaultMaxRatingPromptsWeek  = 2
+)
+
+// Prompter is the interactive user: the execution prompt of §3.1 and
+// the rating prompt.
+type Prompter interface {
+	// DecideExecution is shown the pending executable and the report
+	// downloaded from the server; it returns whether to allow the run.
+	DecideExecution(meta core.SoftwareMeta, rep Report) bool
+	// RateSoftware asks the user to grade a frequently used program.
+	// ok=false means the user declined to rate.
+	RateSoftware(meta core.SoftwareMeta, rep Report) (r Rating, ok bool)
+}
+
+// PrompterFuncs adapts plain functions to the Prompter interface; nil
+// fields default to "allow" and "decline to rate".
+type PrompterFuncs struct {
+	Decide func(meta core.SoftwareMeta, rep Report) bool
+	Rate   func(meta core.SoftwareMeta, rep Report) (Rating, bool)
+}
+
+// DecideExecution implements Prompter.
+func (p PrompterFuncs) DecideExecution(meta core.SoftwareMeta, rep Report) bool {
+	if p.Decide == nil {
+		return true
+	}
+	return p.Decide(meta, rep)
+}
+
+// RateSoftware implements Prompter.
+func (p PrompterFuncs) RateSoftware(meta core.SoftwareMeta, rep Report) (Rating, bool) {
+	if p.Rate == nil {
+		return Rating{}, false
+	}
+	return p.Rate(meta, rep)
+}
+
+// Config configures a Client.
+type Config struct {
+	// API is the server connection; required for lookups and votes.
+	API *API
+	// Session is the logged-in session token; empty disables voting.
+	Session string
+	// Clock is the time source; nil selects the system clock.
+	Clock vclock.Clock
+	// Prompter is the interactive user; nil allows everything silently.
+	Prompter Prompter
+	// TrustStore enables §4.2 signature whitelisting when non-nil:
+	// validly signed files from trusted vendors run without any prompt.
+	TrustStore *signature.TrustStore
+	// Policy, when non-nil, is evaluated before the user prompt; Allow
+	// and Deny decisions are enforced silently, Ask falls through to
+	// the prompt.
+	Policy *policy.Policy
+	// RatingPromptThreshold and MaxRatingPromptsWeek override the §3.1
+	// defaults when positive.
+	RatingPromptThreshold int
+	MaxRatingPromptsWeek  int
+	// Subscriptions names the §4.2 expert feeds whose advice lookups
+	// should carry; advice reaches the Prompter via Report.Advice.
+	Subscriptions []string
+}
+
+// Stats counts client-side decision outcomes.
+type Stats struct {
+	// Lookups is the number of server lookups performed.
+	Lookups int
+	// PromptsShown counts interactive execution prompts.
+	PromptsShown int
+	// AutoAllowedList / AutoDeniedList are white/black list hits.
+	AutoAllowedList int
+	AutoDeniedList  int
+	// AutoAllowedSignature counts §4.2 trusted-signature auto-allows.
+	AutoAllowedSignature int
+	// PolicyAllowed / PolicyDenied count silent policy decisions.
+	PolicyAllowed int
+	PolicyDenied  int
+	// RatingPrompts counts rating prompts shown; RatingsSubmitted the
+	// votes actually cast.
+	RatingPrompts    int
+	RatingsSubmitted int
+	// LookupFailures counts lookups that errored (server unreachable).
+	LookupFailures int
+}
+
+// Client is the per-machine reputation client. It implements
+// hostsim.Hook: installing it on a host routes every execution through
+// the decision flow of §3.1. It is safe for concurrent use.
+type Client struct {
+	api      *API
+	prompter Prompter
+	clock    vclock.Clock
+	trust    *signature.TrustStore
+	policy   *policy.Policy
+
+	threshold     int
+	weekBudget    int
+	subscriptions []string
+
+	mu          sync.Mutex
+	session     string
+	white       map[core.SoftwareID]bool
+	black       map[core.SoftwareID]bool
+	execCount   map[core.SoftwareID]int
+	rated       map[core.SoftwareID]bool
+	start       time.Time
+	promptWeek  int
+	promptsWeek int
+	stats       Stats
+}
+
+// New creates a client.
+func New(cfg Config) *Client {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	prompter := cfg.Prompter
+	if prompter == nil {
+		prompter = PrompterFuncs{}
+	}
+	threshold := cfg.RatingPromptThreshold
+	if threshold <= 0 {
+		threshold = DefaultRatingPromptThreshold
+	}
+	budget := cfg.MaxRatingPromptsWeek
+	if budget <= 0 {
+		budget = DefaultMaxRatingPromptsWeek
+	}
+	return &Client{
+		api:           cfg.API,
+		prompter:      prompter,
+		clock:         clock,
+		trust:         cfg.TrustStore,
+		policy:        cfg.Policy,
+		threshold:     threshold,
+		weekBudget:    budget,
+		subscriptions: cfg.Subscriptions,
+		session:       cfg.Session,
+		white:         make(map[core.SoftwareID]bool),
+		black:         make(map[core.SoftwareID]bool),
+		execCount:     make(map[core.SoftwareID]int),
+		rated:         make(map[core.SoftwareID]bool),
+		start:         clock.Now(),
+	}
+}
+
+// SetSession installs the logged-in session token.
+func (c *Client) SetSession(token string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.session = token
+}
+
+// Whitelist marks an executable as always allowed.
+func (c *Client) Whitelist(id core.SoftwareID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.white[id] = true
+	delete(c.black, id)
+}
+
+// Blacklist marks an executable as always denied.
+func (c *Client) Blacklist(id core.SoftwareID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.black[id] = true
+	delete(c.white, id)
+}
+
+// IsWhitelisted reports whether the executable is on the white list.
+func (c *Client) IsWhitelisted(id core.SoftwareID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.white[id]
+}
+
+// IsBlacklisted reports whether the executable is on the black list.
+func (c *Client) IsBlacklisted(id core.SoftwareID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.black[id]
+}
+
+// Stats returns a snapshot of the decision counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// OnExec implements hostsim.Hook: the §3.1 decision flow. The driver
+// has suspended the process; this method decides allow/deny.
+func (c *Client) OnExec(req hostsim.ExecRequest) hostsim.Decision {
+	id := core.ComputeSoftwareID(req.Content)
+
+	// 1. List hits decide instantly, with no server round trip and no
+	// user interaction (§3.1).
+	c.mu.Lock()
+	if c.white[id] {
+		c.stats.AutoAllowedList++
+		c.mu.Unlock()
+		c.afterAllowed(id, req)
+		return hostsim.Allow
+	}
+	if c.black[id] {
+		c.stats.AutoDeniedList++
+		c.mu.Unlock()
+		return hostsim.Deny
+	}
+	c.mu.Unlock()
+
+	// 2. Signature whitelisting (§4.2): a valid signature from a
+	// trusted vendor auto-allows and goes straight onto the white list.
+	if c.trust != nil && c.trust.VerifyTrusted(req.Content, req.Sig) {
+		c.mu.Lock()
+		c.white[id] = true
+		c.stats.AutoAllowedSignature++
+		c.mu.Unlock()
+		c.afterAllowed(id, req)
+		return hostsim.Allow
+	}
+
+	// 3. Fetch the report. Metadata comes from the image itself; a
+	// malformed image still gets a content-hash identity.
+	meta, err := hostsim.ParseMeta(req.Content)
+	if err != nil {
+		meta = core.SoftwareMeta{
+			ID:       id,
+			FileName: req.Path,
+			FileSize: int64(len(req.Content)),
+		}
+	}
+	var rep Report
+	if c.api != nil {
+		rep, err = c.api.Lookup(meta, c.subscriptions...)
+		c.mu.Lock()
+		c.stats.Lookups++
+		if err != nil {
+			c.stats.LookupFailures++
+		}
+		c.mu.Unlock()
+		if err != nil {
+			rep = Report{} // server unreachable: decide on an empty report
+		}
+	}
+
+	// 4. Policy evaluation (§4.2): silent allow/deny, or fall through
+	// to the user.
+	if c.policy != nil {
+		ctx := policy.Context{
+			Known:           rep.Known,
+			VendorKnown:     meta.VendorKnown(),
+			Vendor:          meta.Vendor,
+			Rating:          rep.Score,
+			Votes:           rep.Votes,
+			VendorRating:    rep.VendorScore,
+			Behaviors:       rep.Behaviors,
+			Signed:          !req.Sig.IsZero(),
+			SignedByTrusted: c.trust != nil && c.trust.VerifyTrusted(req.Content, req.Sig),
+		}
+		switch c.policy.Evaluate(ctx) {
+		case policy.Allow:
+			c.mu.Lock()
+			c.white[id] = true
+			c.stats.PolicyAllowed++
+			c.mu.Unlock()
+			c.afterAllowed(id, req)
+			return hostsim.Allow
+		case policy.Deny:
+			c.mu.Lock()
+			c.black[id] = true
+			c.stats.PolicyDenied++
+			c.mu.Unlock()
+			return hostsim.Deny
+		}
+	}
+
+	// 5. The user decides; the answer is remembered on the appropriate
+	// list so the same executable never prompts twice.
+	c.mu.Lock()
+	c.stats.PromptsShown++
+	c.mu.Unlock()
+	if c.prompter.DecideExecution(meta, rep) {
+		c.mu.Lock()
+		c.white[id] = true
+		c.mu.Unlock()
+		c.afterAllowed(id, req)
+		return hostsim.Allow
+	}
+	c.mu.Lock()
+	c.black[id] = true
+	c.mu.Unlock()
+	return hostsim.Deny
+}
+
+// afterAllowed performs post-execution bookkeeping: usage counting and
+// the §3.1 rating prompt ("when the user has executed a specific
+// software 50 times she will be asked to rate it the next time it is
+// started, unless two software already has been rated that week").
+// Matching that wording exactly, the prompt fires on the execution
+// *after* the threshold-th run.
+func (c *Client) afterAllowed(id core.SoftwareID, req hostsim.ExecRequest) {
+	now := c.clock.Now()
+
+	c.mu.Lock()
+	c.execCount[id]++
+	count := c.execCount[id]
+	session := c.session
+	if session == "" || c.rated[id] || count <= c.threshold {
+		c.mu.Unlock()
+		return
+	}
+	week := vclock.WeekIndex(c.start, now)
+	if week != c.promptWeek {
+		c.promptWeek = week
+		c.promptsWeek = 0
+	}
+	if c.promptsWeek >= c.weekBudget {
+		c.mu.Unlock()
+		return
+	}
+	c.promptsWeek++
+	c.stats.RatingPrompts++
+	c.mu.Unlock()
+
+	meta, err := hostsim.ParseMeta(req.Content)
+	if err != nil {
+		meta = core.SoftwareMeta{ID: id, FileName: req.Path, FileSize: int64(len(req.Content))}
+	}
+	var rep Report
+	if c.api != nil {
+		if r, err := c.api.Lookup(meta, c.subscriptions...); err == nil {
+			rep = r
+		}
+	}
+	rating, ok := c.prompter.RateSoftware(meta, rep)
+	if !ok {
+		return
+	}
+	if c.api == nil {
+		return
+	}
+	if _, err := c.api.Vote(session, meta, rating); err == nil {
+		c.mu.Lock()
+		c.rated[id] = true
+		c.stats.RatingsSubmitted++
+		c.mu.Unlock()
+	}
+}
+
+// ExecCount returns how many allowed executions the client has seen for
+// an executable.
+func (c *Client) ExecCount(id core.SoftwareID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.execCount[id]
+}

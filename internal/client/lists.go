@@ -1,0 +1,86 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"softreputation/internal/core"
+)
+
+// List persistence. The §3.1 lists exist so that "the appropriate
+// response is automatically sent to the driver without the need for
+// user interaction"; for that promise to survive a restart the lists
+// must persist. The format is one decision per line — "w <hex id>" or
+// "b <hex id>" — human-inspectable and diff-friendly.
+
+// SaveLists writes the white and black lists to w in a stable order.
+func (c *Client) SaveLists(w io.Writer) error {
+	c.mu.Lock()
+	white := make([]core.SoftwareID, 0, len(c.white))
+	for id := range c.white {
+		white = append(white, id)
+	}
+	black := make([]core.SoftwareID, 0, len(c.black))
+	for id := range c.black {
+		black = append(black, id)
+	}
+	c.mu.Unlock()
+
+	sortIDs(white)
+	sortIDs(black)
+	bw := bufio.NewWriter(w)
+	for _, id := range white {
+		if _, err := fmt.Fprintf(bw, "w %s\n", id); err != nil {
+			return fmt.Errorf("client: save lists: %w", err)
+		}
+	}
+	for _, id := range black {
+		if _, err := fmt.Fprintf(bw, "b %s\n", id); err != nil {
+			return fmt.Errorf("client: save lists: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadLists merges list entries from r into the client's lists. Lines
+// are "w <hex id>" or "b <hex id>"; blank lines and lines starting with
+// # are ignored. Malformed lines abort the load with an error and leave
+// already-merged entries in place.
+func (c *Client) LoadLists(r io.Reader) error {
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		if len(line) < 3 || line[1] != ' ' {
+			return fmt.Errorf("client: load lists: line %d malformed", lineNo)
+		}
+		id, err := core.ParseSoftwareID(line[2:])
+		if err != nil {
+			return fmt.Errorf("client: load lists: line %d: %w", lineNo, err)
+		}
+		switch line[0] {
+		case 'w':
+			c.Whitelist(id)
+		case 'b':
+			c.Blacklist(id)
+		default:
+			return fmt.Errorf("client: load lists: line %d: unknown kind %q", lineNo, line[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("client: load lists: %w", err)
+	}
+	return nil
+}
+
+func sortIDs(ids []core.SoftwareID) {
+	sort.Slice(ids, func(i, j int) bool {
+		return ids[i].String() < ids[j].String()
+	})
+}

@@ -1,0 +1,83 @@
+package client
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"softreputation/internal/core"
+	"softreputation/internal/vclock"
+)
+
+func newListClient() *Client {
+	return New(Config{Clock: vclock.NewVirtual(vclock.Epoch)})
+}
+
+func TestListsSaveLoadRoundTrip(t *testing.T) {
+	c := newListClient()
+	w1 := core.ComputeSoftwareID([]byte("white-1"))
+	w2 := core.ComputeSoftwareID([]byte("white-2"))
+	b1 := core.ComputeSoftwareID([]byte("black-1"))
+	c.Whitelist(w1)
+	c.Whitelist(w2)
+	c.Blacklist(b1)
+
+	var buf bytes.Buffer
+	if err := c.SaveLists(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := newListClient()
+	if err := fresh.LoadLists(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.IsWhitelisted(w1) || !fresh.IsWhitelisted(w2) {
+		t.Fatal("white list lost")
+	}
+	if !fresh.IsBlacklisted(b1) {
+		t.Fatal("black list lost")
+	}
+	if fresh.IsBlacklisted(w1) || fresh.IsWhitelisted(b1) {
+		t.Fatal("lists crossed")
+	}
+}
+
+func TestListsSaveIsDeterministic(t *testing.T) {
+	c := newListClient()
+	for _, s := range []string{"c", "a", "b"} {
+		c.Whitelist(core.ComputeSoftwareID([]byte(s)))
+	}
+	var buf1, buf2 bytes.Buffer
+	c.SaveLists(&buf1)
+	c.SaveLists(&buf2)
+	if buf1.String() != buf2.String() {
+		t.Fatal("save output not stable")
+	}
+}
+
+func TestListsLoadTolerantInput(t *testing.T) {
+	c := newListClient()
+	id := core.ComputeSoftwareID([]byte("x"))
+	input := "# comment line\n\nw " + id.String() + "\n"
+	if err := c.LoadLists(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsWhitelisted(id) {
+		t.Fatal("entry not loaded")
+	}
+}
+
+func TestListsLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"nonsense",
+		"w short-hex",
+		"x " + core.ComputeSoftwareID([]byte("y")).String(),
+		"w",
+	}
+	for _, in := range cases {
+		c := newListClient()
+		if err := c.LoadLists(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadLists(%q) accepted garbage", in)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Ratings, comments, remarks and score aggregation (§3.1–3.3).
+
+// Rating score bounds: "grading it between 1 and 10".
+const (
+	ScoreMin = 1
+	ScoreMax = 10
+)
+
+// ErrScoreRange is returned for scores outside [ScoreMin, ScoreMax].
+var ErrScoreRange = errors.New("core: score must be between 1 and 10")
+
+// ValidateScore checks a raw score against the 1–10 scale.
+func ValidateScore(score int) error {
+	if score < ScoreMin || score > ScoreMax {
+		return fmt.Errorf("%w: got %d", ErrScoreRange, score)
+	}
+	return nil
+}
+
+// Rating is one user's vote on one software executable. The server
+// enforces that each user rates each software exactly once (§2.1).
+type Rating struct {
+	// UserID identifies the voter.
+	UserID string
+	// Software identifies the rated executable.
+	Software SoftwareID
+	// Score is the 1–10 grade.
+	Score int
+	// Behaviors are the concrete behaviours the user reported observing.
+	Behaviors Behavior
+	// At is when the vote was cast.
+	At time.Time
+}
+
+// Comment is free-text feedback attached to a rating.
+type Comment struct {
+	// ID is the server-assigned comment identifier.
+	ID uint64
+	// UserID identifies the author.
+	UserID string
+	// Software identifies the commented executable.
+	Software SoftwareID
+	// Text is the comment body.
+	Text string
+	// At is when the comment was submitted.
+	At time.Time
+	// Positive and Negative count the remarks received (§3.2).
+	Positive int
+	Negative int
+	// Hidden marks a comment awaiting moderator approval (§2.1's
+	// administrator approach); hidden comments are not published.
+	Hidden bool
+}
+
+// Remark is one user's judgement of another user's comment: "positive
+// for a good, clear and useful comment or negative for a coloured,
+// non-sense or meaningless comment" (§3.2). Remarks drive trust factors.
+type Remark struct {
+	// UserID identifies the remark author.
+	UserID string
+	// CommentID identifies the judged comment.
+	CommentID uint64
+	// Positive is the remark's polarity.
+	Positive bool
+	// At is when the remark was submitted.
+	At time.Time
+}
+
+// WeightedVote pairs a score with the voter's trust factor for
+// aggregation.
+type WeightedVote struct {
+	// Score is the 1–10 grade.
+	Score int
+	// Trust is the voter's trust factor at aggregation time.
+	Trust float64
+}
+
+// AggregationPolicy selects how software scores are computed from votes.
+type AggregationPolicy struct {
+	// Weighted applies trust factors as vote weights (§3.2). Disabling
+	// it is the ablation baseline: every vote counts equally.
+	Weighted bool
+	// PriorVotes and PriorScore add Bayesian smoothing: the score
+	// behaves as if PriorVotes phantom votes of PriorScore had been
+	// cast. Zero PriorVotes disables smoothing. Smoothing tempers the
+	// budding-phase problem of §2.1, where a handful of ignorant votes
+	// dominates an unrated program.
+	PriorVotes float64
+	PriorScore float64
+}
+
+// DefaultAggregationPolicy is the deployed configuration: trust-weighted
+// votes, no smoothing.
+func DefaultAggregationPolicy() AggregationPolicy {
+	return AggregationPolicy{Weighted: true}
+}
+
+// Aggregate computes a software score from votes under the policy.
+// It returns 0 when there are no votes and no prior. Scores stay within
+// [ScoreMin, ScoreMax] whenever at least one vote or prior is present.
+func (p AggregationPolicy) Aggregate(votes []WeightedVote) float64 {
+	var num, den float64
+	for _, v := range votes {
+		w := 1.0
+		if p.Weighted {
+			w = v.Trust
+			if w < TrustMin {
+				w = TrustMin
+			}
+		}
+		num += w * float64(v.Score)
+		den += w
+	}
+	if p.PriorVotes > 0 {
+		num += p.PriorVotes * p.PriorScore
+		den += p.PriorVotes
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// SoftwareScore is the published rating of one executable after an
+// aggregation run.
+type SoftwareScore struct {
+	// Software identifies the executable.
+	Software SoftwareID
+	// Score is the aggregated 1–10 rating, 0 when unrated.
+	Score float64
+	// Votes is the number of votes aggregated.
+	Votes int
+	// Behaviors is the union of behaviours reported by a meaningful
+	// share of voters (see BehaviorConsensus).
+	Behaviors Behavior
+	// ComputedAt is when the aggregation ran.
+	ComputedAt time.Time
+}
+
+// BehaviorConsensusThreshold is the fraction of voters that must report
+// a behaviour for it to be published as part of the software's profile.
+// A simple majority-free threshold keeps one confused voter from
+// labelling a program a keylogger while still surfacing behaviours long
+// before everyone notices them.
+const BehaviorConsensusThreshold = 0.3
+
+// BehaviorConsensus returns the union of behaviour flags reported by at
+// least BehaviorConsensusThreshold of the voters (weighted by trust when
+// weighted aggregation is selected).
+func (p AggregationPolicy) BehaviorConsensus(votes []WeightedVote, behaviors []Behavior) Behavior {
+	if len(votes) != len(behaviors) {
+		panic("core: BehaviorConsensus length mismatch")
+	}
+	if len(votes) == 0 {
+		return 0
+	}
+	var total float64
+	perFlag := make([]float64, NumBehaviors)
+	for i, v := range votes {
+		w := 1.0
+		if p.Weighted {
+			w = v.Trust
+			if w < TrustMin {
+				w = TrustMin
+			}
+		}
+		total += w
+		for bit := 0; bit < NumBehaviors; bit++ {
+			if behaviors[i]&(1<<bit) != 0 {
+				perFlag[bit] += w
+			}
+		}
+	}
+	var out Behavior
+	for bit := 0; bit < NumBehaviors; bit++ {
+		if perFlag[bit] >= BehaviorConsensusThreshold*total {
+			out |= 1 << bit
+		}
+	}
+	return out
+}
+
+// VendorScore is the derived company-level rating of §3.3: "simply
+// calculating the average score of all software belonging to the
+// particular vendor".
+type VendorScore struct {
+	// Vendor is the company name.
+	Vendor string
+	// Score is the mean of the vendor's software scores, 0 when the
+	// vendor has no rated software.
+	Score float64
+	// SoftwareCount is how many of the vendor's executables carried a
+	// score.
+	SoftwareCount int
+}
+
+// AggregateVendor computes a vendor score from that vendor's software
+// scores, ignoring unrated (zero-vote) entries.
+func AggregateVendor(vendor string, scores []SoftwareScore) VendorScore {
+	var sum float64
+	var n int
+	for _, s := range scores {
+		if s.Votes == 0 {
+			continue
+		}
+		sum += s.Score
+		n++
+	}
+	out := VendorScore{Vendor: vendor, SoftwareCount: n}
+	if n > 0 {
+		out.Score = sum / float64(n)
+	}
+	return out
+}
+
+// AggregationPeriod is how often the server recomputes published scores:
+// "Software ratings are calculated at fixed points in time (currently
+// once in every 24-hour period)" (§3.2).
+const AggregationPeriod = 24 * time.Hour
+
+// AggregationSchedule tracks when the periodic job last ran.
+type AggregationSchedule struct {
+	// LastRun is the time of the previous run; zero means never.
+	LastRun time.Time
+}
+
+// Due reports whether a run is due at the given instant.
+func (s AggregationSchedule) Due(now time.Time) bool {
+	return s.LastRun.IsZero() || now.Sub(s.LastRun) >= AggregationPeriod
+}
+
+// Ran records a run at the given instant and returns the new schedule.
+func (s AggregationSchedule) Ran(now time.Time) AggregationSchedule {
+	return AggregationSchedule{LastRun: now}
+}

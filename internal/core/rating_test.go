@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"softreputation/internal/vclock"
+)
+
+func TestValidateScore(t *testing.T) {
+	for s := ScoreMin; s <= ScoreMax; s++ {
+		if err := ValidateScore(s); err != nil {
+			t.Errorf("ValidateScore(%d) = %v", s, err)
+		}
+	}
+	for _, s := range []int{0, -1, 11, 100} {
+		if err := ValidateScore(s); !errors.Is(err, ErrScoreRange) {
+			t.Errorf("ValidateScore(%d) = %v, want ErrScoreRange", s, err)
+		}
+	}
+}
+
+func TestAggregateUnweightedMean(t *testing.T) {
+	p := AggregationPolicy{Weighted: false}
+	votes := []WeightedVote{{Score: 2, Trust: 100}, {Score: 4, Trust: 1}, {Score: 6, Trust: 1}}
+	if got := p.Aggregate(votes); got != 4 {
+		t.Fatalf("unweighted mean = %v, want 4", got)
+	}
+}
+
+func TestAggregateWeightedMean(t *testing.T) {
+	p := DefaultAggregationPolicy()
+	// One expert (trust 90) voting 9 against nine novices voting 1:
+	// weighted mean = (90*9 + 9*1*1)/(90+9) = (810+9)/99 ≈ 8.27.
+	votes := []WeightedVote{{Score: 9, Trust: 90}}
+	for i := 0; i < 9; i++ {
+		votes = append(votes, WeightedVote{Score: 1, Trust: 1})
+	}
+	got := p.Aggregate(votes)
+	want := (90.0*9 + 9.0) / 99.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("weighted mean = %v, want %v", got, want)
+	}
+	// The unweighted mean would be 1.8; trust weighting moves the score
+	// toward the expert, the §2.1 "tipping the balance" effect.
+	unweighted := AggregationPolicy{}.Aggregate(votes)
+	if unweighted >= got {
+		t.Fatalf("weighting did not raise the expert's influence: %v vs %v", unweighted, got)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if got := DefaultAggregationPolicy().Aggregate(nil); got != 0 {
+		t.Fatalf("empty aggregate = %v, want 0", got)
+	}
+}
+
+func TestAggregateTrustFloor(t *testing.T) {
+	// Zero or negative trust weights are clamped to TrustMin so no vote
+	// silently disappears.
+	p := DefaultAggregationPolicy()
+	votes := []WeightedVote{{Score: 10, Trust: 0}, {Score: 2, Trust: 1}}
+	if got := p.Aggregate(votes); got != 6 {
+		t.Fatalf("aggregate with zero trust = %v, want 6", got)
+	}
+}
+
+func TestAggregatePrior(t *testing.T) {
+	p := AggregationPolicy{Weighted: false, PriorVotes: 10, PriorScore: 5.5}
+	// No real votes: the prior alone defines the score.
+	if got := p.Aggregate(nil); got != 5.5 {
+		t.Fatalf("prior-only aggregate = %v", got)
+	}
+	// A single hostile vote barely moves a smoothed score.
+	smoothed := p.Aggregate([]WeightedVote{{Score: 1, Trust: 1}})
+	raw := AggregationPolicy{}.Aggregate([]WeightedVote{{Score: 1, Trust: 1}})
+	if !(raw == 1 && smoothed > 5) {
+		t.Fatalf("smoothing failed: raw=%v smoothed=%v", raw, smoothed)
+	}
+}
+
+func TestAggregateRangeInvariant(t *testing.T) {
+	// Property: with any votes in range, the aggregate stays in range.
+	f := func(scores []uint8, trusts []uint8) bool {
+		var votes []WeightedVote
+		for i, s := range scores {
+			trust := 1.0
+			if i < len(trusts) {
+				trust = float64(trusts[i]%100) + 1
+			}
+			votes = append(votes, WeightedVote{Score: int(s%10) + 1, Trust: trust})
+		}
+		for _, p := range []AggregationPolicy{{Weighted: true}, {Weighted: false}} {
+			got := p.Aggregate(votes)
+			if len(votes) == 0 {
+				if got != 0 {
+					return false
+				}
+				continue
+			}
+			if got < ScoreMin || got > ScoreMax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBehaviorConsensus(t *testing.T) {
+	p := AggregationPolicy{Weighted: false}
+	votes := make([]WeightedVote, 10)
+	behaviors := make([]Behavior, 10)
+	for i := range votes {
+		votes[i] = WeightedVote{Score: 5, Trust: 1}
+	}
+	// 4 of 10 report ads (40% >= 30% threshold), 1 of 10 reports
+	// keylogging (10% < threshold).
+	for i := 0; i < 4; i++ {
+		behaviors[i] |= BehaviorDisplaysAds
+	}
+	behaviors[9] |= BehaviorKeylogging
+
+	got := p.BehaviorConsensus(votes, behaviors)
+	if !got.Has(BehaviorDisplaysAds) {
+		t.Fatal("40% reporting ads should reach consensus")
+	}
+	if got.Has(BehaviorKeylogging) {
+		t.Fatal("10% reporting keylogging should not reach consensus")
+	}
+}
+
+func TestBehaviorConsensusTrustWeighted(t *testing.T) {
+	p := DefaultAggregationPolicy()
+	// One trusted expert reporting tracking outweighs three novices who
+	// report nothing: 50/(50+3) = 94% of weight.
+	votes := []WeightedVote{{Score: 3, Trust: 50}, {Score: 8, Trust: 1}, {Score: 8, Trust: 1}, {Score: 8, Trust: 1}}
+	behaviors := []Behavior{BehaviorTracksUsage, 0, 0, 0}
+	got := p.BehaviorConsensus(votes, behaviors)
+	if !got.Has(BehaviorTracksUsage) {
+		t.Fatal("trusted behaviour report should reach consensus")
+	}
+	// Unweighted, the same report is 25% < 30% threshold.
+	if (AggregationPolicy{}).BehaviorConsensus(votes, behaviors).Has(BehaviorTracksUsage) {
+		t.Fatal("unweighted consensus should not trigger at 25%")
+	}
+}
+
+func TestAggregateVendor(t *testing.T) {
+	scores := []SoftwareScore{
+		{Score: 8, Votes: 10},
+		{Score: 4, Votes: 3},
+		{Score: 0, Votes: 0}, // unrated: ignored
+	}
+	got := AggregateVendor("Acme", scores)
+	if got.Score != 6 || got.SoftwareCount != 2 || got.Vendor != "Acme" {
+		t.Fatalf("vendor score = %+v", got)
+	}
+	empty := AggregateVendor("Ghost", nil)
+	if empty.Score != 0 || empty.SoftwareCount != 0 {
+		t.Fatalf("empty vendor score = %+v", empty)
+	}
+}
+
+func TestAggregationSchedule(t *testing.T) {
+	var s AggregationSchedule
+	now := vclock.Epoch
+	if !s.Due(now) {
+		t.Fatal("never-run schedule must be due")
+	}
+	s = s.Ran(now)
+	if s.Due(now.Add(23 * time.Hour)) {
+		t.Fatal("due again after 23h")
+	}
+	if !s.Due(now.Add(24 * time.Hour)) {
+		t.Fatal("not due after 24h")
+	}
+}
+
+func TestSoftwareIDRoundTrip(t *testing.T) {
+	id := ComputeSoftwareID([]byte("some executable content"))
+	if id.IsZero() {
+		t.Fatal("real content must not hash to zero")
+	}
+	parsed, err := ParseSoftwareID(id.String())
+	if err != nil || parsed != id {
+		t.Fatalf("round trip failed: %v, %v", parsed, err)
+	}
+	// Identity is content-derived: one flipped byte changes it (§3.3).
+	id2 := ComputeSoftwareID([]byte("some executable contenT"))
+	if id == id2 {
+		t.Fatal("different content must produce different identities")
+	}
+	if _, err := ParseSoftwareID("zz"); err == nil {
+		t.Fatal("ParseSoftwareID accepted junk")
+	}
+	if _, err := ParseSoftwareID("abcd"); err == nil {
+		t.Fatal("ParseSoftwareID accepted short hex")
+	}
+}
+
+func TestBehaviorStringRoundTrip(t *testing.T) {
+	b := BehaviorDisplaysAds | BehaviorBrokenUninstall | BehaviorKeylogging
+	parsed, err := ParseBehavior(b.String())
+	if err != nil || parsed != b {
+		t.Fatalf("round trip = %v, %v", parsed, err)
+	}
+	if Behavior(0).String() != "none" {
+		t.Fatal("zero behaviour must render as none")
+	}
+	if p, err := ParseBehavior("none"); err != nil || p != 0 {
+		t.Fatal("parse of none failed")
+	}
+	if p, err := ParseBehavior(""); err != nil || p != 0 {
+		t.Fatal("parse of empty failed")
+	}
+	if _, err := ParseBehavior("exfiltrates-soul"); err == nil {
+		t.Fatal("unknown behaviour accepted")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	if !b.Has(BehaviorDisplaysAds) || b.Has(BehaviorTracksUsage) {
+		t.Fatal("Has misbehaves")
+	}
+}
+
+func TestSoftwareMetaVendorKnown(t *testing.T) {
+	if (SoftwareMeta{Vendor: "Acme"}).VendorKnown() == false {
+		t.Fatal("named vendor must be known")
+	}
+	if (SoftwareMeta{Vendor: "  "}).VendorKnown() {
+		t.Fatal("blank vendor must be unknown")
+	}
+}
+
+func TestBehaviorQuickRoundTrip(t *testing.T) {
+	f := func(mask uint8) bool {
+		b := Behavior(mask) // any subset of the 8 defined flags
+		parsed, err := ParseBehavior(b.String())
+		return err == nil && parsed == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"time"
+
+	"softreputation/internal/vclock"
+)
+
+// Trust-factor mechanics of Section 3.2.
+//
+// Every user carries a trust factor that weights their votes during
+// aggregation. New users start at the minimum of 1. Trust grows when
+// other users leave positive remarks on their comments and shrinks on
+// negative remarks, but growth is rate-limited: "the maximum growth per
+// week [is] 5 units. Hence, you can reach a maximum trust factor of 5
+// the first week you are a member, 10 the second week, and so on" — so
+// influence must be earned over a long period and cannot be rushed by a
+// burst of colluding praise. The factor is clamped to [1, 100].
+
+// Trust-factor bounds and rates from §3.2 of the paper.
+const (
+	// TrustMin is the floor and the value assigned to new users.
+	TrustMin = 1.0
+	// TrustMax is the ceiling of the trust factor.
+	TrustMax = 100.0
+	// TrustWeeklyGrowthCap is the maximum trust a user can gain per week
+	// of membership.
+	TrustWeeklyGrowthCap = 5.0
+)
+
+// Default remark deltas: how much one positive or negative remark on a
+// user's comment moves their trust factor. The paper fixes the growth
+// cap but not the per-remark delta; these defaults make a consistently
+// helpful user track the cap.
+const (
+	RemarkPositiveDelta = 1.0
+	RemarkNegativeDelta = -2.0
+)
+
+// Trust is a user's trust factor together with the bookkeeping needed to
+// enforce the weekly growth schedule. The zero value is not valid; use
+// NewTrust.
+type Trust struct {
+	// Value is the current trust factor in [TrustMin, TrustMax].
+	Value float64
+	// JoinedAt anchors the weekly growth schedule.
+	JoinedAt time.Time
+	// GrownInWeek is how much the factor has grown during WeekIdx.
+	GrownInWeek float64
+	// WeekIdx is the membership week GrownInWeek refers to.
+	WeekIdx int
+}
+
+// NewTrust returns the trust state of a user who joined at the given
+// instant: the minimum factor and an empty growth budget.
+func NewTrust(joinedAt time.Time) Trust {
+	return Trust{Value: TrustMin, JoinedAt: joinedAt}
+}
+
+// ceilingAt returns the largest factor reachable by now under the weekly
+// schedule: 5 in the first membership week, 10 in the second, and so on,
+// never above TrustMax. The ceiling also never drops below TrustMin.
+func (t Trust) ceilingAt(now time.Time) float64 {
+	weeks := vclock.WeekIndex(t.JoinedAt, now)
+	ceiling := TrustWeeklyGrowthCap * float64(weeks+1)
+	if ceiling > TrustMax {
+		ceiling = TrustMax
+	}
+	if ceiling < TrustMin {
+		ceiling = TrustMin
+	}
+	return ceiling
+}
+
+// Apply adjusts the factor by delta at the given instant, enforcing the
+// weekly growth cap, the membership-schedule ceiling and the [1, 100]
+// clamp. It returns the updated state; negative deltas are applied
+// immediately (loss of trust is never rate-limited) and replenish no
+// growth budget.
+func (t Trust) Apply(delta float64, now time.Time) Trust {
+	week := vclock.WeekIndex(t.JoinedAt, now)
+	if week != t.WeekIdx {
+		t.WeekIdx = week
+		t.GrownInWeek = 0
+	}
+
+	if delta < 0 {
+		t.Value += delta
+		if t.Value < TrustMin {
+			t.Value = TrustMin
+		}
+		return t
+	}
+
+	budget := TrustWeeklyGrowthCap - t.GrownInWeek
+	if budget <= 0 {
+		return t
+	}
+	if delta > budget {
+		delta = budget
+	}
+	ceiling := t.ceilingAt(now)
+	if t.Value+delta > ceiling {
+		delta = ceiling - t.Value
+	}
+	if delta <= 0 {
+		return t
+	}
+	t.Value += delta
+	t.GrownInWeek += delta
+	return t
+}
+
+// ApplyRemark adjusts trust for one remark left on the user's comment:
+// positive remarks reward good, clear and useful comments; negative
+// remarks punish coloured, nonsense or meaningless ones (§3.2).
+func (t Trust) ApplyRemark(positive bool, now time.Time) Trust {
+	if positive {
+		return t.Apply(RemarkPositiveDelta, now)
+	}
+	return t.Apply(RemarkNegativeDelta, now)
+}

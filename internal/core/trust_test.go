@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"softreputation/internal/vclock"
+)
+
+func TestNewTrustStartsAtMinimum(t *testing.T) {
+	tr := NewTrust(vclock.Epoch)
+	if tr.Value != TrustMin {
+		t.Fatalf("new trust = %v, want %v", tr.Value, TrustMin)
+	}
+}
+
+func TestTrustWeeklyGrowthCap(t *testing.T) {
+	// Within one week, no amount of positive remarks grows trust by more
+	// than 5 units.
+	tr := NewTrust(vclock.Epoch)
+	now := vclock.Epoch.Add(time.Hour)
+	for i := 0; i < 100; i++ {
+		tr = tr.ApplyRemark(true, now)
+	}
+	want := TrustMin + TrustWeeklyGrowthCap
+	if tr.Value > want {
+		t.Fatalf("trust after burst = %v, want <= %v", tr.Value, want)
+	}
+	// The paper's schedule: max 5 in week one. Ceiling (5) beats
+	// min+cap (6) here.
+	if tr.Value != 5 {
+		t.Fatalf("trust after week-1 burst = %v, want 5", tr.Value)
+	}
+}
+
+func TestTrustScheduleMatchesPaper(t *testing.T) {
+	// "you can reach a maximum trust factor of 5 the first week you are
+	// a member, 10 the second week, and so on".
+	tr := NewTrust(vclock.Epoch)
+	for week := 0; week < 25; week++ {
+		now := vclock.Epoch.Add(time.Duration(week)*vclock.Week + time.Hour)
+		for i := 0; i < 50; i++ {
+			tr = tr.ApplyRemark(true, now)
+		}
+		wantMax := TrustWeeklyGrowthCap * float64(week+1)
+		if wantMax > TrustMax {
+			wantMax = TrustMax
+		}
+		if tr.Value != wantMax {
+			t.Fatalf("week %d: trust = %v, want %v", week, tr.Value, wantMax)
+		}
+	}
+}
+
+func TestTrustCapAt100(t *testing.T) {
+	tr := NewTrust(vclock.Epoch)
+	// After 30 weeks of maximal growth the factor stops at 100, not 150.
+	for week := 0; week < 30; week++ {
+		now := vclock.Epoch.Add(time.Duration(week)*vclock.Week + time.Hour)
+		for i := 0; i < 20; i++ {
+			tr = tr.ApplyRemark(true, now)
+		}
+	}
+	if tr.Value != TrustMax {
+		t.Fatalf("trust after 30 weeks = %v, want %v", tr.Value, TrustMax)
+	}
+	// weeks to cap: ceil((100-... the schedule reaches 100 at week 19
+	// (ceiling 5*(19+1)=100), i.e. the 20th week of membership.
+}
+
+func TestTrustFloorAt1(t *testing.T) {
+	tr := NewTrust(vclock.Epoch)
+	now := vclock.Epoch.Add(time.Hour)
+	for i := 0; i < 50; i++ {
+		tr = tr.ApplyRemark(false, now)
+	}
+	if tr.Value != TrustMin {
+		t.Fatalf("trust after negative burst = %v, want %v", tr.Value, TrustMin)
+	}
+}
+
+func TestTrustNegativeNotRateLimited(t *testing.T) {
+	// Build trust over several weeks, then lose it all in one day.
+	tr := NewTrust(vclock.Epoch)
+	for week := 0; week < 4; week++ {
+		now := vclock.Epoch.Add(time.Duration(week)*vclock.Week + time.Hour)
+		for i := 0; i < 10; i++ {
+			tr = tr.ApplyRemark(true, now)
+		}
+	}
+	if tr.Value != 20 {
+		t.Fatalf("trust after 4 weeks = %v, want 20", tr.Value)
+	}
+	now := vclock.Epoch.Add(4*vclock.Week + time.Hour)
+	for i := 0; i < 15; i++ {
+		tr = tr.ApplyRemark(false, now)
+	}
+	if tr.Value != TrustMin {
+		t.Fatalf("trust after slashing = %v, want %v", tr.Value, TrustMin)
+	}
+}
+
+func TestTrustGrowthBudgetNotReplenishedByLoss(t *testing.T) {
+	// Gaining 5, losing 4, then trying to gain again within the same
+	// week must not exceed the weekly growth of 5.
+	tr := NewTrust(vclock.Epoch)
+	now := vclock.Epoch.Add(time.Hour)
+	for i := 0; i < 5; i++ {
+		tr = tr.ApplyRemark(true, now) // 1 -> 5 (ceiling), grown 4
+	}
+	tr = tr.Apply(-3, now) // down to 2
+	tr = tr.Apply(+5, now) // budget left is 5-4=1 => only +1
+	if tr.Value != 3 {
+		t.Fatalf("trust = %v, want 3 (budget exhausted)", tr.Value)
+	}
+}
+
+func TestTrustInvariant(t *testing.T) {
+	// Property: under arbitrary remark sequences at arbitrary times the
+	// factor stays within [1, 100] and within the membership schedule.
+	f := func(seed []bool, hourOffsets []uint16) bool {
+		tr := NewTrust(vclock.Epoch)
+		now := vclock.Epoch
+		for i, pos := range seed {
+			if i < len(hourOffsets) {
+				now = now.Add(time.Duration(hourOffsets[i]%200) * time.Hour)
+			}
+			tr = tr.ApplyRemark(pos, now)
+			if tr.Value < TrustMin || tr.Value > TrustMax {
+				return false
+			}
+			weeks := vclock.WeekIndex(vclock.Epoch, now)
+			ceiling := TrustWeeklyGrowthCap * float64(weeks+1)
+			if ceiling > TrustMax {
+				ceiling = TrustMax
+			}
+			if tr.Value > ceiling {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeekIndex(t *testing.T) {
+	if vclock.WeekIndex(vclock.Epoch, vclock.Epoch) != 0 {
+		t.Fatal("week 0 at join time")
+	}
+	if vclock.WeekIndex(vclock.Epoch, vclock.Epoch.Add(6*24*time.Hour)) != 0 {
+		t.Fatal("day 6 is still week 0")
+	}
+	if vclock.WeekIndex(vclock.Epoch, vclock.Epoch.Add(7*24*time.Hour)) != 1 {
+		t.Fatal("day 7 is week 1")
+	}
+	if vclock.WeekIndex(vclock.Epoch, vclock.Epoch.Add(-time.Hour)) != 0 {
+		t.Fatal("times before start clamp to week 0")
+	}
+}

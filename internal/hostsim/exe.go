@@ -1,0 +1,181 @@
+// Package hostsim simulates the client-side host environment the paper's
+// Windows prototype ran on: executable files with embedded vendor
+// metadata, a process-creation path, and the kernel hook that pauses
+// every execution and asks the reputation client for an allow/deny
+// decision (the paper's Soviet-Protector NtCreateSection hook, §3.1).
+//
+// The simulation is faithful where it matters to the system under test:
+// executables are real byte blobs (so content hashing, signing and
+// polymorphic mutation behave exactly as on a real file), metadata may
+// be stripped by questionable vendors (§3.3), critical system processes
+// crash the host when denied (§4.2), and every execution passes through
+// the hook synchronously.
+package hostsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"softreputation/internal/core"
+	"softreputation/internal/signature"
+)
+
+// exeMagic opens every simulated executable file.
+var exeMagic = []byte("SEXE")
+
+// ErrBadImage is returned when executable content cannot be parsed.
+var ErrBadImage = errors.New("hostsim: bad executable image")
+
+// Profile is the ground truth about an executable, known to the
+// simulation but never directly visible to clients or the server: its
+// true Table 1 cell, its true behaviours, whether its vendor relies on
+// deceit, the harm one execution inflicts, and the score a fully
+// informed expert would give it.
+type Profile struct {
+	// Category is the true (consent, consequence) cell.
+	Category core.Category
+	// Behaviors are the behaviours the program actually exhibits.
+	Behaviors core.Behavior
+	// Deceitful marks vendors that hide identity or mutate binaries to
+	// evade file-level reputation.
+	Deceitful bool
+	// HarmPerRun is the negative-consequence cost of one execution.
+	HarmPerRun float64
+	// TrueScore is the 1–10 grade an informed expert would assign.
+	TrueScore float64
+}
+
+// Spec describes an executable to build.
+type Spec struct {
+	// FileName is the executable's file name, e.g. "setup.exe".
+	FileName string
+	// Vendor is the company name embedded in the image; leave empty to
+	// model vendors that strip their identity (§3.3).
+	Vendor string
+	// Version is the embedded version string.
+	Version string
+	// BodySize is the code-section size in bytes; 0 selects a default.
+	BodySize int
+	// Seed makes the body deterministic for a given spec.
+	Seed int64
+	// Profile is the ground truth attached to the executable.
+	Profile Profile
+}
+
+// Executable is a simulated program image.
+type Executable struct {
+	// Content is the complete file image; its SHA-1 is the software ID.
+	Content []byte
+	// Sig is the optional detached vendor signature over Content.
+	Sig signature.Detached
+	// Profile is the simulation ground truth.
+	Profile Profile
+}
+
+const defaultBodySize = 4096
+
+// Build constructs an executable image from a spec. The image embeds
+// the metadata exactly once; re-building the same spec yields identical
+// bytes and therefore the same software ID.
+func Build(spec Spec) *Executable {
+	bodySize := spec.BodySize
+	if bodySize <= 0 {
+		bodySize = defaultBodySize
+	}
+	body := make([]byte, bodySize)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	rng.Read(body)
+
+	content := append([]byte(nil), exeMagic...)
+	content = appendField(content, []byte(spec.FileName))
+	content = appendField(content, []byte(spec.Vendor))
+	content = appendField(content, []byte(spec.Version))
+	content = appendField(content, body)
+	return &Executable{Content: content, Profile: spec.Profile}
+}
+
+func appendField(dst, field []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(field)))
+	return append(dst, field...)
+}
+
+func takeField(src []byte) ([]byte, []byte, error) {
+	n, used := binary.Uvarint(src)
+	if used <= 0 || uint64(len(src)-used) < n {
+		return nil, nil, ErrBadImage
+	}
+	src = src[used:]
+	return src[:n:n], src[n:], nil
+}
+
+// ParseMeta extracts the §3.3 metadata from an executable image: the
+// software ID (content hash), file name, file size, vendor and version.
+func ParseMeta(content []byte) (core.SoftwareMeta, error) {
+	var meta core.SoftwareMeta
+	if len(content) < len(exeMagic) || string(content[:len(exeMagic)]) != string(exeMagic) {
+		return meta, fmt.Errorf("%w: missing magic", ErrBadImage)
+	}
+	rest := content[len(exeMagic):]
+	name, rest, err := takeField(rest)
+	if err != nil {
+		return meta, err
+	}
+	vendor, rest, err := takeField(rest)
+	if err != nil {
+		return meta, err
+	}
+	version, rest, err := takeField(rest)
+	if err != nil {
+		return meta, err
+	}
+	if _, _, err := takeField(rest); err != nil {
+		return meta, err
+	}
+	meta.ID = core.ComputeSoftwareID(content)
+	meta.FileName = string(name)
+	meta.FileSize = int64(len(content))
+	meta.Vendor = string(vendor)
+	meta.Version = string(version)
+	return meta, nil
+}
+
+// ID returns the executable's content-derived software identity.
+func (e *Executable) ID() core.SoftwareID {
+	return core.ComputeSoftwareID(e.Content)
+}
+
+// Meta parses the executable's embedded metadata.
+func (e *Executable) Meta() (core.SoftwareMeta, error) {
+	return ParseMeta(e.Content)
+}
+
+// SignWith attaches a detached vendor signature over the image.
+func (e *Executable) SignWith(s *signature.Signer) {
+	e.Sig = s.Sign(e.Content)
+}
+
+// Mutate returns a polymorphic variant: identical metadata and ground
+// truth, but with body bytes perturbed so the content hash — and hence
+// the software ID — changes. This is the §3.3 evasion: "make each
+// instance of their software applications differ slightly between each
+// other so that each one has its own distinct hash value". Any existing
+// signature is dropped, since the old signature cannot cover new bytes.
+func (e *Executable) Mutate(rng *rand.Rand) *Executable {
+	content := append([]byte(nil), e.Content...)
+	// Perturb bytes in the final quarter of the image; the metadata
+	// fields live at the front and stay intact.
+	start := len(content) - len(content)/4
+	if start < len(exeMagic) {
+		start = len(exeMagic)
+	}
+	for i := 0; i < 8; i++ {
+		pos := start + rng.Intn(len(content)-start)
+		content[pos] ^= byte(1 + rng.Intn(255))
+	}
+	return &Executable{Content: content, Profile: e.Profile}
+}
+
+// Verdict returns the ground-truth coarse verdict of the executable.
+func (e *Executable) Verdict() core.Verdict { return e.Profile.Category.Verdict() }

@@ -1,0 +1,285 @@
+package hostsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"softreputation/internal/core"
+	"softreputation/internal/signature"
+)
+
+// ErrNoSuchFile is returned when executing a path with no installed
+// executable.
+var ErrNoSuchFile = errors.New("hostsim: no such file")
+
+// ErrHostCrashed is returned when executing on a crashed host.
+var ErrHostCrashed = errors.New("hostsim: host has crashed")
+
+// Decision is the hook's answer for a pending execution.
+type Decision int
+
+// Hook decisions.
+const (
+	// Allow lets the execution proceed.
+	Allow Decision = iota
+	// Deny blocks the execution.
+	Deny
+)
+
+// ExecRequest is what the kernel hook hands to the client when a
+// process is about to be created: the host, the path, and the raw image
+// (from which the client derives the content hash, metadata and
+// signature exactly as the §3.1 driver-plus-client pair does).
+type ExecRequest struct {
+	// Host is the machine name.
+	Host string
+	// Path is the file-system path being executed.
+	Path string
+	// Content is the executable image.
+	Content []byte
+	// Sig is the image's detached signature, if any.
+	Sig signature.Detached
+	// At is the execution instant.
+	At time.Time
+}
+
+// Hook receives every pending execution and decides it. The reputation
+// client implements Hook; a nil hook means "no protection installed"
+// and everything runs.
+type Hook interface {
+	// OnExec decides a pending execution synchronously; the process is
+	// suspended until it returns.
+	OnExec(req ExecRequest) Decision
+}
+
+// HookFunc adapts a function to the Hook interface.
+type HookFunc func(req ExecRequest) Decision
+
+// OnExec implements Hook.
+func (f HookFunc) OnExec(req ExecRequest) Decision { return f(req) }
+
+// ExecRecord is one entry of the host's execution log.
+type ExecRecord struct {
+	// Path is the executed path.
+	Path string
+	// Software is the image's content hash.
+	Software core.SoftwareID
+	// Allowed is the hook's decision.
+	Allowed bool
+	// At is the execution instant.
+	At time.Time
+}
+
+// Host is one simulated machine. It is safe for concurrent use.
+type Host struct {
+	// Name identifies the machine.
+	Name string
+
+	mu       sync.Mutex
+	files    map[string]*Executable
+	critical map[string]bool
+	hook     Hook
+	crashed  bool
+	harm     float64
+	log      []ExecRecord
+}
+
+// NewHost creates a machine with an empty file system and no hook.
+func NewHost(name string) *Host {
+	return &Host{
+		Name:     name,
+		files:    make(map[string]*Executable),
+		critical: make(map[string]bool),
+	}
+}
+
+// Install places an executable at a path, replacing any previous file.
+func (h *Host) Install(path string, exe *Executable) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.files[path] = exe
+}
+
+// Remove deletes the file at path, if present.
+func (h *Host) Remove(path string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.files, path)
+}
+
+// Lookup returns the executable installed at path.
+func (h *Host) Lookup(path string) (*Executable, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	exe, ok := h.files[path]
+	return exe, ok
+}
+
+// Paths returns the installed paths in unspecified order.
+func (h *Host) Paths() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.files))
+	for p := range h.files {
+		out = append(out, p)
+	}
+	return out
+}
+
+// MarkCritical flags a path as an essential system component: denying
+// its execution crashes the host, the §4.2 stability failure ("we also
+// handed them the ability to crash the entire system in a single mouse
+// click").
+func (h *Host) MarkCritical(path string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.critical[path] = true
+}
+
+// SetHook installs the exec-interception hook; nil uninstalls it.
+func (h *Host) SetHook(hook Hook) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hook = hook
+}
+
+// ExecResult reports the outcome of one execution attempt.
+type ExecResult struct {
+	// Allowed reports whether the program actually ran.
+	Allowed bool
+	// CrashedHost reports whether this denial brought the system down.
+	CrashedHost bool
+}
+
+// Exec attempts to run the file at path at the given instant. The
+// kernel hook (if any) decides; allowed malicious programs accrue harm,
+// denied critical programs crash the host.
+func (h *Host) Exec(path string, now time.Time) (ExecResult, error) {
+	h.mu.Lock()
+	if h.crashed {
+		h.mu.Unlock()
+		return ExecResult{}, ErrHostCrashed
+	}
+	exe, ok := h.files[path]
+	if !ok {
+		h.mu.Unlock()
+		return ExecResult{}, fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+	}
+	hook := h.hook
+	isCritical := h.critical[path]
+	h.mu.Unlock()
+
+	decision := Allow
+	if hook != nil {
+		// The hook runs outside the host lock: real clients perform
+		// network lookups and user prompts while the process is frozen.
+		decision = hook.OnExec(ExecRequest{
+			Host:    h.Name,
+			Path:    path,
+			Content: exe.Content,
+			Sig:     exe.Sig,
+			At:      now,
+		})
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	res := ExecResult{Allowed: decision == Allow}
+	if res.Allowed {
+		h.harm += exe.Profile.HarmPerRun
+	} else if isCritical {
+		h.crashed = true
+		res.CrashedHost = true
+	}
+	h.log = append(h.log, ExecRecord{
+		Path:     path,
+		Software: exe.ID(),
+		Allowed:  res.Allowed,
+		At:       now,
+	})
+	return res, nil
+}
+
+// Crashed reports whether a critical process was denied.
+func (h *Host) Crashed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.crashed
+}
+
+// Reboot clears the crashed state, keeping files and hook.
+func (h *Host) Reboot() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashed = false
+}
+
+// Harm returns the accumulated negative-consequence score from allowed
+// executions — the user-harm metric of experiment E9.
+func (h *Host) Harm() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.harm
+}
+
+// Log returns a copy of the execution log.
+func (h *Host) Log() []ExecRecord {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]ExecRecord(nil), h.log...)
+}
+
+// ExecCount returns how many times path was executed (allowed or not).
+func (h *Host) ExecCount(path string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, r := range h.log {
+		if r.Path == path {
+			n++
+		}
+	}
+	return n
+}
+
+// SystemProcessNames are the essential components installed on every
+// standard host; denying any of them crashes the machine.
+var SystemProcessNames = []string{
+	"C:/Windows/System32/winlogon.exe",
+	"C:/Windows/System32/csrss.exe",
+	"C:/Windows/System32/svchost.exe",
+	"C:/Windows/System32/lsass.exe",
+	"C:/Windows/explorer.exe",
+}
+
+// InstallStandardSystem installs the critical system processes, signed
+// by the platform vendor's signer when one is provided, and returns the
+// installed executables keyed by path.
+func InstallStandardSystem(h *Host, osVendor *signature.Signer) map[string]*Executable {
+	out := make(map[string]*Executable, len(SystemProcessNames))
+	for i, path := range SystemProcessNames {
+		vendor := ""
+		if osVendor != nil {
+			vendor = osVendor.Vendor
+		}
+		exe := Build(Spec{
+			FileName: path,
+			Vendor:   vendor,
+			Version:  "5.1.2600",
+			Seed:     int64(1000 + i),
+			Profile: Profile{
+				Category:  core.CategoryLegitimate,
+				TrueScore: 9,
+			},
+		})
+		if osVendor != nil {
+			exe.SignWith(osVendor)
+		}
+		h.Install(path, exe)
+		h.MarkCritical(path)
+		out[path] = exe
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package identity
+
+import (
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Password hashing. The server stores only a salted, iterated hash
+// ("username, hashed password", §3.2); verification is constant-time.
+
+// Password hashing parameters. Iterations are deliberately modest so the
+// simulation harness can create thousands of accounts; a production
+// deployment would raise passwordIterations.
+const (
+	passwordSaltLen   = 16
+	passwordKeyLen    = 32
+	passwordIterLight = 1024
+)
+
+// ErrPasswordFormat is returned for malformed stored password hashes.
+var ErrPasswordFormat = errors.New("identity: malformed password hash")
+
+// HashPassword derives a storable hash of password with a fresh random
+// salt. The output is self-describing:
+// "pbkdf2-sha256$<iterations>$<salt hex>$<key hex>".
+func HashPassword(password string) (string, error) {
+	salt := make([]byte, passwordSaltLen)
+	if _, err := rand.Read(salt); err != nil {
+		return "", fmt.Errorf("identity: salt generation: %w", err)
+	}
+	key := pbkdf2Key([]byte(password), salt, passwordIterLight, passwordKeyLen)
+	return fmt.Sprintf("pbkdf2-sha256$%d$%s$%s",
+		passwordIterLight, hex.EncodeToString(salt), hex.EncodeToString(key)), nil
+}
+
+// VerifyPassword checks password against a hash produced by
+// HashPassword. It returns nil on match, ErrPasswordMismatch otherwise.
+func VerifyPassword(stored, password string) error {
+	parts := strings.Split(stored, "$")
+	if len(parts) != 4 || parts[0] != "pbkdf2-sha256" {
+		return ErrPasswordFormat
+	}
+	iters, err := strconv.Atoi(parts[1])
+	if err != nil || iters <= 0 {
+		return ErrPasswordFormat
+	}
+	salt, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return ErrPasswordFormat
+	}
+	want, err := hex.DecodeString(parts[3])
+	if err != nil {
+		return ErrPasswordFormat
+	}
+	got := pbkdf2Key([]byte(password), salt, iters, len(want))
+	if subtle.ConstantTimeCompare(got, want) != 1 {
+		return ErrPasswordMismatch
+	}
+	return nil
+}
+
+// ErrPasswordMismatch is returned when a password does not match its
+// stored hash.
+var ErrPasswordMismatch = errors.New("identity: password mismatch")

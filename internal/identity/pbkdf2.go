@@ -1,0 +1,44 @@
+// Package identity implements the account-security primitives of
+// Sections 2.1, 2.2 and 5 of the paper: peppered e-mail hashing so that a
+// stolen database does not reveal addresses, salted iterated password
+// hashing, activation tokens for the e-mail round trip, a cost-modelled
+// CAPTCHA gate against automated signup, and the hash-preimage client
+// puzzles (Aura's DOS-resistant authentication) the paper lists as
+// future work.
+package identity
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// pbkdf2Key implements PBKDF2 (RFC 2898) with HMAC-SHA-256, the standard
+// construction for password storage, using only the standard library.
+func pbkdf2Key(password, salt []byte, iterations, keyLen int) []byte {
+	prf := hmac.New(sha256.New, password)
+	hashLen := prf.Size()
+	numBlocks := (keyLen + hashLen - 1) / hashLen
+
+	dk := make([]byte, 0, numBlocks*hashLen)
+	var block [4]byte
+	u := make([]byte, hashLen)
+	for i := 1; i <= numBlocks; i++ {
+		prf.Reset()
+		prf.Write(salt)
+		binary.BigEndian.PutUint32(block[:], uint32(i))
+		prf.Write(block[:])
+		u = prf.Sum(u[:0])
+		t := append([]byte(nil), u...)
+		for iter := 1; iter < iterations; iter++ {
+			prf.Reset()
+			prf.Write(u)
+			u = prf.Sum(u[:0])
+			for x := range t {
+				t[x] ^= u[x]
+			}
+		}
+		dk = append(dk, t...)
+	}
+	return dk[:keyLen]
+}

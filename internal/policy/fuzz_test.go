@@ -1,0 +1,36 @@
+package policy
+
+import "testing"
+
+// FuzzParse hardens the policy parser: arbitrary text must either parse
+// or fail cleanly — never panic — and whatever parses must render back
+// to a policy that parses again to the same decisions on a probe set.
+func FuzzParse(f *testing.F) {
+	f.Add("allow if signed\ndefault deny")
+	f.Add("deny if behavior:keylogging or (rating < 3 and votes >= 5)\ndefault ask")
+	f.Add("# comment\n\ndefault allow")
+	f.Add("allow if vendor:\"Acme Corp\"\ndefault ask")
+	f.Add("allow if not not signed\ndefault ask")
+	f.Add("allow if rating >= 7.5.5\ndefault ask")
+
+	probes := []Context{
+		{},
+		{Signed: true, Rating: 8, Votes: 12},
+		{Rating: 2.5, Votes: 1, Vendor: "Acme Corp"},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("String() of a valid policy does not re-parse: %v\n%s", err, p.String())
+		}
+		for _, ctx := range probes {
+			if p.Evaluate(ctx) != p2.Evaluate(ctx) {
+				t.Fatalf("round-tripped policy diverges on %+v", ctx)
+			}
+		}
+	})
+}

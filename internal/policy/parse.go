@@ -1,0 +1,272 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"softreputation/internal/core"
+)
+
+// ErrParse wraps every policy-syntax error.
+var ErrParse = errors.New("policy: parse error")
+
+// Parse reads the line-oriented policy DSL. Blank lines and lines
+// starting with # are ignored. Every policy must end with exactly one
+// "default allow|deny|ask" line.
+func Parse(src string) (*Policy, error) {
+	p := &Policy{Default: Ask}
+	haveDefault := false
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if haveDefault {
+			return nil, fmt.Errorf("%w: line %d: rules after default", ErrParse, lineNo+1)
+		}
+		toks, err := lex(line)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		if toks[0] == "default" {
+			if len(toks) != 2 {
+				return nil, fmt.Errorf("%w: line %d: default takes one action", ErrParse, lineNo+1)
+			}
+			action, err := parseAction(toks[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
+			}
+			p.Default = action
+			haveDefault = true
+			continue
+		}
+		action, err := parseAction(toks[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
+		}
+		if len(toks) < 3 || toks[1] != "if" {
+			return nil, fmt.Errorf("%w: line %d: expected '%s if <condition>'", ErrParse, lineNo+1, toks[0])
+		}
+		pr := &parser{toks: toks[2:]}
+		cond, err := pr.parseOr()
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
+		}
+		if pr.pos != len(pr.toks) {
+			return nil, fmt.Errorf("%w: line %d: trailing tokens from %q", ErrParse, lineNo+1, pr.toks[pr.pos])
+		}
+		p.Rules = append(p.Rules, Rule{Action: action, Cond: cond, Source: line})
+	}
+	if !haveDefault {
+		return nil, fmt.Errorf("%w: missing 'default' line", ErrParse)
+	}
+	return p, nil
+}
+
+// MustParse is Parse for compile-time-constant policies; it panics on
+// error.
+func MustParse(src string) *Policy {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseAction(tok string) (Action, error) {
+	switch tok {
+	case "allow":
+		return Allow, nil
+	case "deny":
+		return Deny, nil
+	case "ask":
+		return Ask, nil
+	default:
+		return Ask, fmt.Errorf("unknown action %q", tok)
+	}
+}
+
+// lex splits one line into tokens: words (which may contain colons and
+// hyphens), double-quoted strings glued to a word prefix (vendor:"Acme
+// Corp"), numbers, comparison operators and parentheses.
+func lex(line string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '>' || c == '<' || c == '=' || c == '!':
+			if i+1 < len(line) && line[i+1] == '=' {
+				toks = append(toks, line[i:i+2])
+				i += 2
+			} else if c == '>' || c == '<' {
+				toks = append(toks, string(c))
+				i++
+			} else {
+				return nil, fmt.Errorf("stray %q", string(c))
+			}
+		default:
+			start := i
+			for i < len(line) {
+				c := line[i]
+				if c == ' ' || c == '\t' || c == '(' || c == ')' ||
+					c == '>' || c == '<' || c == '=' || c == '!' {
+					break
+				}
+				if c == '"' {
+					// Quoted section: consume to the closing quote.
+					end := strings.IndexByte(line[i+1:], '"')
+					if end < 0 {
+						return nil, errors.New("unterminated quote")
+					}
+					i += end + 2
+					continue
+				}
+				i++
+			}
+			toks = append(toks, line[start:i])
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orExpr{l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "and" {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = andExpr{l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.peek() {
+	case "not":
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner: inner}, nil
+	case "(":
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, errors.New("missing )")
+		}
+		return inner, nil
+	case "":
+		return nil, errors.New("unexpected end of condition")
+	default:
+		return p.parsePredicate()
+	}
+}
+
+// numericFields maps comparable predicate names to context accessors.
+var numericFields = map[string]func(Context) float64{
+	"rating":        func(c Context) float64 { return c.Rating },
+	"vendor-rating": func(c Context) float64 { return c.VendorRating },
+	"votes":         func(c Context) float64 { return float64(c.Votes) },
+}
+
+// flagFields maps boolean predicate names to context accessors.
+var flagFields = map[string]func(Context) bool{
+	"known":             func(c Context) bool { return c.Known },
+	"signed":            func(c Context) bool { return c.Signed },
+	"signed-by-trusted": func(c Context) bool { return c.SignedByTrusted },
+	"vendor-known":      func(c Context) bool { return c.VendorKnown },
+	"unsigned":          func(c Context) bool { return !c.Signed },
+	"unrated":           func(c Context) bool { return c.Votes == 0 },
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	tok := p.next()
+	if get, ok := flagFields[tok]; ok {
+		return flagExpr{get: get}, nil
+	}
+	if get, ok := numericFields[tok]; ok {
+		op := p.next()
+		switch op {
+		case ">=", ">", "<=", "<", "==", "!=":
+		default:
+			return nil, fmt.Errorf("expected comparison after %q, got %q", tok, op)
+		}
+		num := p.next()
+		rhs, err := strconv.ParseFloat(num, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q after %q %s", num, tok, op)
+		}
+		return cmpExpr{get: get, op: op, rhs: rhs}, nil
+	}
+	if name, ok := strings.CutPrefix(tok, "behavior:"); ok {
+		flag, err := core.ParseBehavior(name)
+		if err != nil || flag == 0 {
+			return nil, fmt.Errorf("unknown behaviour %q", name)
+		}
+		return behaviorExpr{flag: flag}, nil
+	}
+	if name, ok := strings.CutPrefix(tok, "vendor:"); ok {
+		name = strings.Trim(name, `"`)
+		if name == "" {
+			return nil, errors.New("empty vendor name")
+		}
+		return vendorExpr{name: name}, nil
+	}
+	return nil, fmt.Errorf("unknown predicate %q", tok)
+}

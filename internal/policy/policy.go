@@ -1,0 +1,184 @@
+// Package policy implements the software policy manager of Section 4.2:
+// "it would be possible for corporations or individual users to set up
+// policies for what software is allowed to execute on their computers
+// … by specifying that any software from trusted vendors should be
+// allowed, while other software only is allowed if it has a rating over
+// 7.5/10 and does not show any advertisements."
+//
+// Policies are ordered rules over the facts the reputation system
+// supplies at execution time (signature status, score, vote count,
+// vendor rating, behaviour flags). The first matching rule decides;
+// a default action closes the policy. The textual form is a small,
+// line-oriented DSL:
+//
+//	# corporate policy
+//	allow if signed-by-trusted
+//	deny  if behavior:keylogging or behavior:sends-personal-data
+//	allow if rating >= 7.5 and not behavior:displays-ads
+//	deny  if vendor-rating < 3 and votes >= 5
+//	default ask
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"softreputation/internal/core"
+)
+
+// Action is a policy decision.
+type Action int
+
+// Policy actions. Ask defers to the interactive user prompt.
+const (
+	Ask Action = iota
+	Allow
+	Deny
+)
+
+// String returns the action's DSL keyword.
+func (a Action) String() string {
+	switch a {
+	case Allow:
+		return "allow"
+	case Deny:
+		return "deny"
+	case Ask:
+		return "ask"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Context is the fact set a policy evaluates against, assembled by the
+// client from the signature check and the server's lookup report.
+type Context struct {
+	// Known reports whether the reputation system had seen the
+	// executable before.
+	Known bool
+	// Signed reports whether the file carries a cryptographically valid
+	// vendor signature.
+	Signed bool
+	// SignedByTrusted reports whether that signature's vendor is on the
+	// local trusted-vendor list.
+	SignedByTrusted bool
+	// VendorKnown reports whether the file embeds a vendor name.
+	VendorKnown bool
+	// Vendor is the embedded vendor name.
+	Vendor string
+	// Rating is the aggregated score (0 when unrated).
+	Rating float64
+	// Votes is the number of votes behind Rating.
+	Votes int
+	// VendorRating is the vendor's derived score (0 when none).
+	VendorRating float64
+	// Behaviors is the published behaviour consensus.
+	Behaviors core.Behavior
+}
+
+// Rule is one parsed policy line.
+type Rule struct {
+	// Action is taken when the condition holds.
+	Action Action
+	// Cond is the rule's condition.
+	Cond Expr
+	// Source is the original text, for diagnostics and String.
+	Source string
+}
+
+// Policy is an ordered rule list with a default action.
+type Policy struct {
+	// Rules are evaluated in order; the first whose condition holds
+	// decides.
+	Rules []Rule
+	// Default applies when no rule matches.
+	Default Action
+}
+
+// Evaluate returns the policy's decision for the given facts.
+func (p *Policy) Evaluate(ctx Context) Action {
+	for _, r := range p.Rules {
+		if r.Cond.Eval(ctx) {
+			return r.Action
+		}
+	}
+	return p.Default
+}
+
+// Explain returns the decision together with the rule that produced it
+// ("" for the default), for client UI and tests.
+func (p *Policy) Explain(ctx Context) (Action, string) {
+	for _, r := range p.Rules {
+		if r.Cond.Eval(ctx) {
+			return r.Action, r.Source
+		}
+	}
+	return p.Default, ""
+}
+
+// String renders the policy back to its DSL form.
+func (p *Policy) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.Source)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "default %s\n", p.Default)
+	return b.String()
+}
+
+// Expr is a parsed condition.
+type Expr interface {
+	// Eval reports whether the condition holds for the facts.
+	Eval(ctx Context) bool
+}
+
+type andExpr struct{ l, r Expr }
+
+func (e andExpr) Eval(ctx Context) bool { return e.l.Eval(ctx) && e.r.Eval(ctx) }
+
+type orExpr struct{ l, r Expr }
+
+func (e orExpr) Eval(ctx Context) bool { return e.l.Eval(ctx) || e.r.Eval(ctx) }
+
+type notExpr struct{ inner Expr }
+
+func (e notExpr) Eval(ctx Context) bool { return !e.inner.Eval(ctx) }
+
+type flagExpr struct{ get func(Context) bool }
+
+func (e flagExpr) Eval(ctx Context) bool { return e.get(ctx) }
+
+type cmpExpr struct {
+	get func(Context) float64
+	op  string
+	rhs float64
+}
+
+func (e cmpExpr) Eval(ctx Context) bool {
+	v := e.get(ctx)
+	switch e.op {
+	case ">=":
+		return v >= e.rhs
+	case ">":
+		return v > e.rhs
+	case "<=":
+		return v <= e.rhs
+	case "<":
+		return v < e.rhs
+	case "==":
+		return v == e.rhs
+	case "!=":
+		return v != e.rhs
+	default:
+		return false
+	}
+}
+
+type behaviorExpr struct{ flag core.Behavior }
+
+func (e behaviorExpr) Eval(ctx Context) bool { return ctx.Behaviors.Has(e.flag) }
+
+type vendorExpr struct{ name string }
+
+func (e vendorExpr) Eval(ctx Context) bool { return ctx.Vendor == e.name }

@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"softreputation/internal/core"
+)
+
+// corporate is the exact §4.2 example: trusted vendors always allowed,
+// other software only with rating over 7.5 and no advertisements.
+const corporate = `
+# corporate policy
+allow if signed-by-trusted
+allow if rating >= 7.5 and not behavior:displays-ads
+default deny
+`
+
+func TestCorporatePolicyFromPaper(t *testing.T) {
+	p, err := Parse(corporate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		ctx  Context
+		want Action
+	}{
+		{"trusted vendor, terrible rating", Context{SignedByTrusted: true, Signed: true, Rating: 1}, Allow},
+		{"high rating, clean", Context{Rating: 8.2, Votes: 10}, Allow},
+		{"high rating but shows ads", Context{Rating: 9, Behaviors: core.BehaviorDisplaysAds}, Deny},
+		{"exactly 7.5, clean", Context{Rating: 7.5}, Allow},
+		{"below threshold", Context{Rating: 7.4}, Deny},
+		{"unknown and unrated", Context{}, Deny},
+	}
+	for _, c := range cases {
+		if got := p.Evaluate(c.ctx); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	p := MustParse(`
+deny if behavior:keylogging
+allow if rating >= 5
+default ask
+`)
+	// Keylogger with a great rating is still denied: rule order.
+	got := p.Evaluate(Context{Rating: 9.5, Behaviors: core.BehaviorKeylogging})
+	if got != Deny {
+		t.Fatalf("keylogger allowed: %v", got)
+	}
+	action, src := p.Explain(Context{Rating: 9.5, Behaviors: core.BehaviorKeylogging})
+	if action != Deny || !strings.Contains(src, "keylogging") {
+		t.Fatalf("Explain = %v, %q", action, src)
+	}
+	// Nothing matches: default with empty source.
+	action, src = p.Explain(Context{Rating: 2})
+	if action != Ask || src != "" {
+		t.Fatalf("default Explain = %v, %q", action, src)
+	}
+}
+
+func TestOperatorsAndGrouping(t *testing.T) {
+	p := MustParse(`
+allow if (votes > 10 or signed) and vendor-rating != 0
+deny if votes == 0 and unsigned
+default ask
+`)
+	if got := p.Evaluate(Context{Votes: 11, VendorRating: 5}); got != Allow {
+		t.Fatalf("grouped or: %v", got)
+	}
+	if got := p.Evaluate(Context{Signed: true, VendorRating: 3}); got != Allow {
+		t.Fatalf("signed arm: %v", got)
+	}
+	if got := p.Evaluate(Context{Votes: 11}); got != Ask {
+		t.Fatalf("vendor-rating zero must fail the and: %v", got)
+	}
+	if got := p.Evaluate(Context{}); got != Deny {
+		t.Fatalf("unsigned unrated: %v", got)
+	}
+}
+
+func TestVendorPredicate(t *testing.T) {
+	p := MustParse(`
+deny if vendor:"Shady Corp"
+allow if vendor:Acme
+default ask
+`)
+	if got := p.Evaluate(Context{Vendor: "Shady Corp"}); got != Deny {
+		t.Fatalf("quoted vendor: %v", got)
+	}
+	if got := p.Evaluate(Context{Vendor: "Acme"}); got != Allow {
+		t.Fatalf("bare vendor: %v", got)
+	}
+	if got := p.Evaluate(Context{Vendor: "Other"}); got != Ask {
+		t.Fatalf("unknown vendor: %v", got)
+	}
+}
+
+func TestFlagPredicates(t *testing.T) {
+	p := MustParse(`
+allow if known and vendor-known and not unrated
+deny if unsigned
+default ask
+`)
+	if got := p.Evaluate(Context{Known: true, VendorKnown: true, Votes: 2}); got != Allow {
+		t.Fatalf("flags: %v", got)
+	}
+	if got := p.Evaluate(Context{Known: true, VendorKnown: true}); got != Deny {
+		t.Fatalf("unrated falls through to unsigned deny: %v", got)
+	}
+	if got := p.Evaluate(Context{Signed: true}); got != Ask {
+		t.Fatalf("signed unknown: %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                            // no default
+		"allow if rating >= 5",                        // no default
+		"frobnicate if signed\ndefault ask",           // bad action
+		"allow rating >= 5\ndefault ask",              // missing if
+		"allow if rating 5\ndefault ask",              // missing operator
+		"allow if rating >= high\ndefault ask",        // bad number
+		"allow if behavior:flying\ndefault ask",       // unknown behaviour
+		"allow if mystery-flag\ndefault ask",          // unknown predicate
+		"allow if (signed\ndefault ask",               // missing paren
+		"allow if signed and\ndefault ask",            // dangling and
+		"default ask\nallow if signed",                // rule after default
+		"default maybe",                               // bad default action
+		"allow if vendor:\"Unterminated\ndefault ask", // unterminated quote... lexer
+		"allow if signed ) extra\ndefault ask",        // trailing tokens
+		"allow if rating ! 5\ndefault ask",            // stray !
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q) err = %v, want ErrParse", src, err)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse of bad policy must panic")
+		}
+	}()
+	MustParse("not a policy")
+}
+
+func TestStringRoundTrips(t *testing.T) {
+	p := MustParse(corporate)
+	rendered := p.String()
+	p2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, rendered)
+	}
+	// Same decisions on a probe set.
+	probes := []Context{
+		{SignedByTrusted: true},
+		{Rating: 8},
+		{Rating: 8, Behaviors: core.BehaviorDisplaysAds},
+		{},
+	}
+	for _, ctx := range probes {
+		if p.Evaluate(ctx) != p2.Evaluate(ctx) {
+			t.Fatalf("round-tripped policy diverges on %+v", ctx)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p, err := Parse(`
+# leading comment
+
+allow if signed
+# trailing comment
+default deny
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 || p.Default != Deny {
+		t.Fatalf("policy = %+v", p)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Allow.String() != "allow" || Deny.String() != "deny" || Ask.String() != "ask" {
+		t.Fatal("action names wrong")
+	}
+	if Action(9).String() == "" {
+		t.Fatal("out-of-range action must render")
+	}
+}

@@ -1,0 +1,209 @@
+package repo
+
+import (
+	"softreputation/internal/core"
+	"softreputation/internal/storedb"
+)
+
+// Published score storage: the output of the 24-hour aggregation job.
+
+const (
+	scoreRecordVersion  = 1
+	vendorRecordVersion = 1
+)
+
+func encodeScore(sc core.SoftwareScore) []byte {
+	e := newEncoder(scoreRecordVersion)
+	e.putFloat64(sc.Score)
+	e.putInt64(int64(sc.Votes))
+	e.putUint64(uint64(sc.Behaviors))
+	e.putTime(sc.ComputedAt)
+	return e.bytes()
+}
+
+func decodeScore(data []byte, id core.SoftwareID) (core.SoftwareScore, error) {
+	sc := core.SoftwareScore{Software: id}
+	d, err := newDecoder(data, scoreRecordVersion)
+	if err != nil {
+		return sc, err
+	}
+	if sc.Score, err = d.float64(); err != nil {
+		return sc, err
+	}
+	votes, err := d.int64()
+	if err != nil {
+		return sc, err
+	}
+	sc.Votes = int(votes)
+	behaviors, err := d.uint64()
+	if err != nil {
+		return sc, err
+	}
+	sc.Behaviors = core.Behavior(behaviors)
+	if sc.ComputedAt, err = d.time(); err != nil {
+		return sc, err
+	}
+	return sc, d.finish()
+}
+
+// SetScore publishes an aggregated software score.
+func (s *Store) SetScore(sc core.SoftwareScore) error {
+	return s.db.Update(func(tx *storedb.Tx) error {
+		return tx.MustBucket(bucketScores).Put(sc.Software[:], encodeScore(sc))
+	})
+}
+
+// SetScores publishes a batch of scores in one transaction, which is
+// what the aggregation job uses.
+func (s *Store) SetScores(scores []core.SoftwareScore) error {
+	return s.db.Update(func(tx *storedb.Tx) error {
+		b := tx.MustBucket(bucketScores)
+		for _, sc := range scores {
+			if err := b.Put(sc.Software[:], encodeScore(sc)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// GetScore fetches the published score of one executable.
+func (s *Store) GetScore(id core.SoftwareID) (core.SoftwareScore, bool, error) {
+	var sc core.SoftwareScore
+	var found bool
+	err := s.db.View(func(tx *storedb.Tx) error {
+		data, ok := tx.MustBucket(bucketScores).Get(id[:])
+		if !ok {
+			return nil
+		}
+		var derr error
+		sc, derr = decodeScore(data, id)
+		found = derr == nil
+		return derr
+	})
+	return sc, found, err
+}
+
+// SetVendorScore publishes an aggregated vendor score.
+func (s *Store) SetVendorScore(v core.VendorScore) error {
+	return s.db.Update(func(tx *storedb.Tx) error {
+		e := newEncoder(vendorRecordVersion)
+		e.putFloat64(v.Score)
+		e.putInt64(int64(v.SoftwareCount))
+		return tx.MustBucket(bucketVendorScore).Put([]byte(v.Vendor), e.bytes())
+	})
+}
+
+// GetVendorScore fetches the published score of one vendor.
+func (s *Store) GetVendorScore(vendor string) (core.VendorScore, bool, error) {
+	out := core.VendorScore{Vendor: vendor}
+	var found bool
+	err := s.db.View(func(tx *storedb.Tx) error {
+		data, ok := tx.MustBucket(bucketVendorScore).Get([]byte(vendor))
+		if !ok {
+			return nil
+		}
+		d, err := newDecoder(data, vendorRecordVersion)
+		if err != nil {
+			return err
+		}
+		if out.Score, err = d.float64(); err != nil {
+			return err
+		}
+		count, err := d.int64()
+		if err != nil {
+			return err
+		}
+		out.SoftwareCount = int(count)
+		found = true
+		return d.finish()
+	})
+	return out, found, err
+}
+
+// AggregationState persists the 24-hour job schedule across restarts.
+func (s *Store) AggregationState() (core.AggregationSchedule, error) {
+	var sched core.AggregationSchedule
+	err := s.db.View(func(tx *storedb.Tx) error {
+		data, ok := tx.MustBucket(bucketMeta).Get([]byte("lastAggregation"))
+		if !ok {
+			return nil
+		}
+		d, err := newDecoder(data, 1)
+		if err != nil {
+			return err
+		}
+		if sched.LastRun, err = d.time(); err != nil {
+			return err
+		}
+		return d.finish()
+	})
+	return sched, err
+}
+
+// SetAggregationState persists the schedule after a run.
+func (s *Store) SetAggregationState(sched core.AggregationSchedule) error {
+	return s.db.Update(func(tx *storedb.Tx) error {
+		e := newEncoder(1)
+		e.putTime(sched.LastRun)
+		return tx.MustBucket(bucketMeta).Put([]byte("lastAggregation"), e.bytes())
+	})
+}
+
+// BootstrapPrior is the imported mass behind a bootstrapped score: the
+// §2.1 "copying the information from an existing … software rating
+// database". During aggregation it acts as prior votes, so early live
+// votes are "one out of many, rather than the one and only".
+type BootstrapPrior struct {
+	// Score is the imported 1–10 rating.
+	Score float64
+	// Votes is the imported vote count.
+	Votes int
+	// Behaviors is the imported behaviour profile.
+	Behaviors core.Behavior
+}
+
+const priorRecordVersion = 1
+
+// SetBootstrapPrior records the imported prior for one executable.
+func (s *Store) SetBootstrapPrior(id core.SoftwareID, p BootstrapPrior) error {
+	return s.db.Update(func(tx *storedb.Tx) error {
+		e := newEncoder(priorRecordVersion)
+		e.putFloat64(p.Score)
+		e.putInt64(int64(p.Votes))
+		e.putUint64(uint64(p.Behaviors))
+		return tx.MustBucket(bucketPriors).Put(id[:], e.bytes())
+	})
+}
+
+// GetBootstrapPrior fetches the imported prior for one executable.
+func (s *Store) GetBootstrapPrior(id core.SoftwareID) (BootstrapPrior, bool, error) {
+	var p BootstrapPrior
+	var found bool
+	err := s.db.View(func(tx *storedb.Tx) error {
+		data, ok := tx.MustBucket(bucketPriors).Get(id[:])
+		if !ok {
+			return nil
+		}
+		d, err := newDecoder(data, priorRecordVersion)
+		if err != nil {
+			return err
+		}
+		if p.Score, err = d.float64(); err != nil {
+			return err
+		}
+		votes, err := d.int64()
+		if err != nil {
+			return err
+		}
+		p.Votes = int(votes)
+		behaviors, err := d.uint64()
+		if err != nil {
+			return err
+		}
+		p.Behaviors = core.Behavior(behaviors)
+		found = true
+		return d.finish()
+	})
+	return p, found, err
+}

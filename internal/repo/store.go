@@ -1,0 +1,121 @@
+// Package repo is the reputation server's typed persistence layer: users,
+// software, ratings, comments, remarks and published scores, stored in
+// the embedded storedb engine with the secondary indexes the server's
+// queries need (ratings by software, ratings by user, software by
+// vendor, comments by software, e-mail-hash uniqueness).
+//
+// The schema holds exactly what Section 3.2 allows: "The only data
+// stored in the database about the user is a username, hashed password
+// and a hashed e-mail address, as well as timestamps of when the user
+// signed up, and was last logged in." No IP addresses, no raw e-mail
+// addresses.
+package repo
+
+import (
+	"errors"
+	"fmt"
+
+	"softreputation/internal/storedb"
+)
+
+// Bucket names. Kept short: every key carries its bucket prefix.
+const (
+	bucketUsers       = "u"  // username -> user record
+	bucketEmails      = "e"  // email hash -> username
+	bucketSoftware    = "s"  // software id -> software record
+	bucketSwByVendor  = "sv" // vendor + software id -> nil
+	bucketRatings     = "r"  // software id + username -> rating record
+	bucketRatingsByU  = "ru" // username + software id -> nil
+	bucketComments    = "c"  // comment id -> comment record
+	bucketCommentsByS = "cs" // software id + comment id -> nil
+	bucketRemarks     = "k"  // comment id + username -> remark record
+	bucketScores      = "sc" // software id -> published score record
+	bucketVendorScore = "vs" // vendor -> published vendor score
+	bucketMeta        = "m"  // singletons: counters, schedules
+	bucketPriors      = "bp" // software id -> bootstrap prior record
+)
+
+// Sentinel errors for constraint violations.
+var (
+	// ErrUserExists is returned when creating a user whose name is taken.
+	ErrUserExists = errors.New("repo: username already exists")
+	// ErrEmailTaken is returned when the e-mail hash is already bound to
+	// an account — the one-account-per-address rule of §3.2.
+	ErrEmailTaken = errors.New("repo: e-mail address already registered")
+	// ErrUserNotFound is returned when a referenced user does not exist.
+	ErrUserNotFound = errors.New("repo: user not found")
+	// ErrSoftwareNotFound is returned when a referenced executable does
+	// not exist.
+	ErrSoftwareNotFound = errors.New("repo: software not found")
+	// ErrAlreadyRated enforces "each user only votes for a software
+	// program exactly once" (§2.1).
+	ErrAlreadyRated = errors.New("repo: user has already rated this software")
+	// ErrAlreadyRemarked enforces one remark per user per comment.
+	ErrAlreadyRemarked = errors.New("repo: user has already remarked this comment")
+	// ErrCommentNotFound is returned when a referenced comment does not
+	// exist.
+	ErrCommentNotFound = errors.New("repo: comment not found")
+	// ErrSelfRemark forbids remarking one's own comment.
+	ErrSelfRemark = errors.New("repo: cannot remark your own comment")
+)
+
+// Store is the typed repository. It is safe for concurrent use.
+type Store struct {
+	db *storedb.DB
+}
+
+// Open opens the repository over a storedb database configured by opts.
+func Open(opts storedb.Options) (*Store, error) {
+	db, err := storedb.Open(opts)
+	if err != nil {
+		return nil, fmt.Errorf("repo: %w", err)
+	}
+	return &Store{db: db}, nil
+}
+
+// OpenMemory opens a fresh in-memory repository for tests and
+// simulations.
+func OpenMemory() *Store {
+	db, err := storedb.Open(storedb.Options{})
+	if err != nil {
+		// In-memory open cannot fail; if it does, it is a programming
+		// error worth crashing on.
+		panic(err)
+	}
+	return &Store{db: db}
+}
+
+// Close releases the underlying database.
+func (s *Store) Close() error { return s.db.Close() }
+
+// Compact snapshots the underlying database and truncates its log.
+func (s *Store) Compact() error { return s.db.Compact() }
+
+// Stats summarises the repository for the /stats endpoint and the
+// experiment harness.
+type Stats struct {
+	// Users is the number of registered accounts.
+	Users int
+	// Software is the number of distinct executables on record.
+	Software int
+	// Ratings is the total number of votes cast.
+	Ratings int
+	// Comments is the total number of comments submitted.
+	Comments int
+	// Remarks is the total number of comment remarks submitted.
+	Remarks int
+}
+
+// Stats counts the repository's contents.
+func (s *Store) Stats() (Stats, error) {
+	var st Stats
+	err := s.db.View(func(tx *storedb.Tx) error {
+		st.Users = tx.MustBucket(bucketUsers).Count(nil)
+		st.Software = tx.MustBucket(bucketSoftware).Count(nil)
+		st.Ratings = tx.MustBucket(bucketRatings).Count(nil)
+		st.Comments = tx.MustBucket(bucketComments).Count(nil)
+		st.Remarks = tx.MustBucket(bucketRemarks).Count(nil)
+		return nil
+	})
+	return st, err
+}

@@ -1,0 +1,178 @@
+package repo
+
+import (
+	"fmt"
+	"time"
+
+	"softreputation/internal/core"
+	"softreputation/internal/storedb"
+)
+
+// User is one registered account, holding exactly the §3.2 fields plus
+// the trust-factor state of the reputation engine.
+type User struct {
+	// Username is the unique account name and primary key.
+	Username string
+	// PasswordHash is the salted PBKDF2 hash of the password.
+	PasswordHash string
+	// EmailHash is the peppered hash of the signup address.
+	EmailHash string
+	// SignedUpAt and LastLoginAt are the only timestamps kept.
+	SignedUpAt  time.Time
+	LastLoginAt time.Time
+	// Activated reports whether the e-mail round trip completed.
+	Activated bool
+	// Trust is the user's trust-factor state.
+	Trust core.Trust
+}
+
+const userRecordVersion = 1
+
+func encodeUser(u User) []byte {
+	e := newEncoder(userRecordVersion)
+	e.putString(u.Username)
+	e.putString(u.PasswordHash)
+	e.putString(u.EmailHash)
+	e.putTime(u.SignedUpAt)
+	e.putTime(u.LastLoginAt)
+	e.putBool(u.Activated)
+	e.putFloat64(u.Trust.Value)
+	e.putTime(u.Trust.JoinedAt)
+	e.putFloat64(u.Trust.GrownInWeek)
+	e.putInt64(int64(u.Trust.WeekIdx))
+	return e.bytes()
+}
+
+func decodeUser(data []byte) (User, error) {
+	var u User
+	d, err := newDecoder(data, userRecordVersion)
+	if err != nil {
+		return u, err
+	}
+	if u.Username, err = d.string(); err != nil {
+		return u, err
+	}
+	if u.PasswordHash, err = d.string(); err != nil {
+		return u, err
+	}
+	if u.EmailHash, err = d.string(); err != nil {
+		return u, err
+	}
+	if u.SignedUpAt, err = d.time(); err != nil {
+		return u, err
+	}
+	if u.LastLoginAt, err = d.time(); err != nil {
+		return u, err
+	}
+	if u.Activated, err = d.bool(); err != nil {
+		return u, err
+	}
+	if u.Trust.Value, err = d.float64(); err != nil {
+		return u, err
+	}
+	if u.Trust.JoinedAt, err = d.time(); err != nil {
+		return u, err
+	}
+	if u.Trust.GrownInWeek, err = d.float64(); err != nil {
+		return u, err
+	}
+	week, err := d.int64()
+	if err != nil {
+		return u, err
+	}
+	u.Trust.WeekIdx = int(week)
+	return u, d.finish()
+}
+
+// CreateUser registers a new account, enforcing username uniqueness and
+// the one-account-per-e-mail rule.
+func (s *Store) CreateUser(u User) error {
+	if u.Username == "" {
+		return fmt.Errorf("repo: empty username")
+	}
+	return s.db.Update(func(tx *storedb.Tx) error {
+		users := tx.MustBucket(bucketUsers)
+		if _, exists := users.Get([]byte(u.Username)); exists {
+			return ErrUserExists
+		}
+		emails := tx.MustBucket(bucketEmails)
+		if u.EmailHash != "" {
+			if _, taken := emails.Get([]byte(u.EmailHash)); taken {
+				return ErrEmailTaken
+			}
+			if err := emails.Put([]byte(u.EmailHash), []byte(u.Username)); err != nil {
+				return err
+			}
+		}
+		return users.Put([]byte(u.Username), encodeUser(u))
+	})
+}
+
+// GetUser fetches an account by name.
+func (s *Store) GetUser(username string) (User, bool, error) {
+	var u User
+	var found bool
+	err := s.db.View(func(tx *storedb.Tx) error {
+		data, ok := tx.MustBucket(bucketUsers).Get([]byte(username))
+		if !ok {
+			return nil
+		}
+		var derr error
+		u, derr = decodeUser(data)
+		found = derr == nil
+		return derr
+	})
+	return u, found, err
+}
+
+// UpdateUser overwrites an existing account record. The username and
+// e-mail hash are immutable; attempts to change the e-mail hash are
+// rejected to keep the uniqueness index consistent.
+func (s *Store) UpdateUser(u User) error {
+	return s.db.Update(func(tx *storedb.Tx) error {
+		users := tx.MustBucket(bucketUsers)
+		data, ok := users.Get([]byte(u.Username))
+		if !ok {
+			return ErrUserNotFound
+		}
+		old, err := decodeUser(data)
+		if err != nil {
+			return err
+		}
+		if old.EmailHash != u.EmailHash {
+			return fmt.Errorf("repo: e-mail hash is immutable")
+		}
+		return users.Put([]byte(u.Username), encodeUser(u))
+	})
+}
+
+// ForEachUser visits every account in username order, stopping early if
+// fn returns false.
+func (s *Store) ForEachUser(fn func(User) bool) error {
+	return s.db.View(func(tx *storedb.Tx) error {
+		var derr error
+		tx.MustBucket(bucketUsers).ForEach(func(k, v []byte) bool {
+			u, err := decodeUser(v)
+			if err != nil {
+				derr = err
+				return false
+			}
+			return fn(u)
+		})
+		return derr
+	})
+}
+
+// UsernameForEmailHash resolves the account bound to an e-mail hash.
+func (s *Store) UsernameForEmailHash(emailHash string) (string, bool, error) {
+	var name string
+	var found bool
+	err := s.db.View(func(tx *storedb.Tx) error {
+		v, ok := tx.MustBucket(bucketEmails).Get([]byte(emailHash))
+		if ok {
+			name, found = string(v), true
+		}
+		return nil
+	})
+	return name, found, err
+}

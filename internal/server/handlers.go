@@ -1,0 +1,318 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"sort"
+
+	"softreputation/internal/core"
+	"softreputation/internal/identity"
+	"softreputation/internal/repo"
+	"softreputation/internal/wire"
+)
+
+// Handler returns the server's HTTP handler: the XML API under /api/
+// and the HTML web view on /.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(wire.PathChallenge, s.handleChallenge)
+	mux.HandleFunc(wire.PathRegister, s.handleRegister)
+	mux.HandleFunc(wire.PathActivate, s.handleActivate)
+	mux.HandleFunc(wire.PathLogin, s.handleLogin)
+	mux.HandleFunc(wire.PathLookup, s.handleLookup)
+	mux.HandleFunc(wire.PathVote, s.handleVote)
+	mux.HandleFunc(wire.PathRemark, s.handleRemark)
+	mux.HandleFunc(wire.PathVendor, s.handleVendor)
+	mux.HandleFunc(wire.PathStats, s.handleStats)
+	s.registerWeb(mux)
+	return mux
+}
+
+// writeXML sends v with a 200 status.
+func writeXML(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", wire.ContentType)
+	_ = wire.Encode(w, v)
+}
+
+// writeError maps a domain error onto a wire error code and HTTP status.
+func writeError(w http.ResponseWriter, err error) {
+	code := wire.CodeInternal
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, repo.ErrUserExists):
+		code, status = wire.CodeUserExists, http.StatusConflict
+	case errors.Is(err, repo.ErrEmailTaken):
+		code, status = wire.CodeEmailTaken, http.StatusConflict
+	case errors.Is(err, ErrCaptchaRequired):
+		code, status = wire.CodeCaptchaFailed, http.StatusForbidden
+	case errors.Is(err, ErrPuzzleRequired):
+		code, status = wire.CodePuzzleFailed, http.StatusForbidden
+	case errors.Is(err, ErrBadCredentials), errors.Is(err, identity.ErrTokenInvalid):
+		code, status = wire.CodeBadCreds, http.StatusUnauthorized
+	case errors.Is(err, ErrNotActivated):
+		code, status = wire.CodeNotActivated, http.StatusForbidden
+	case errors.Is(err, ErrBadSession):
+		code, status = wire.CodeBadSession, http.StatusUnauthorized
+	case errors.Is(err, repo.ErrAlreadyRated):
+		code, status = wire.CodeAlreadyRated, http.StatusConflict
+	case errors.Is(err, repo.ErrAlreadyRemarked):
+		code, status = wire.CodeAlreadyMarked, http.StatusConflict
+	case errors.Is(err, repo.ErrSelfRemark):
+		code, status = wire.CodeSelfRemark, http.StatusConflict
+	case errors.Is(err, repo.ErrCommentNotFound),
+		errors.Is(err, repo.ErrUserNotFound),
+		errors.Is(err, repo.ErrSoftwareNotFound):
+		code, status = wire.CodeNotFound, http.StatusNotFound
+	case errors.Is(err, ErrVoteBudget), errors.Is(err, ErrSignupThrottled):
+		code, status = wire.CodeRateLimited, http.StatusTooManyRequests
+	case errors.Is(err, core.ErrScoreRange), errors.Is(err, identity.ErrBadEmail):
+		code, status = wire.CodeBadRequest, http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(status)
+	_ = wire.Encode(w, &wire.ErrorResponse{Code: code, Message: err.Error()})
+}
+
+// decodeBody parses the request body into v, answering bad-request on
+// failure and reporting whether the handler should continue.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := wire.Decode(http.MaxBytesReader(w, r.Body, 1<<20), v); err != nil {
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeBadRequest, Message: err.Error()})
+		return false
+	}
+	return true
+}
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
+	ch, err := s.IssueChallenge()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeXML(w, wire.ChallengeResponse{
+		CaptchaNonce:     ch.Captcha.Nonce,
+		PuzzleNonce:      ch.Puzzle.Nonce,
+		PuzzleDifficulty: ch.Puzzle.Difficulty,
+	})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req wire.RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	remoteIP, _, splitErr := net.SplitHostPort(r.RemoteAddr)
+	if splitErr != nil {
+		remoteIP = r.RemoteAddr
+	}
+	err := s.RegisterFrom(remoteIP, RegisterParams{
+		Username:        req.Username,
+		Password:        req.Password,
+		Email:           req.Email,
+		CaptchaNonce:    req.CaptchaNonce,
+		CaptchaSolution: req.CaptchaSolution,
+		PuzzleNonce:     req.PuzzleNonce,
+		PuzzleSolution:  req.PuzzleSolution,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeXML(w, wire.RegisterResponse{Username: req.Username})
+}
+
+func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req wire.ActivateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	username, err := s.Activate(req.Token)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeXML(w, wire.ActivateResponse{Username: username})
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req wire.LoginRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	token, err := s.Login(req.Username, req.Password)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeXML(w, wire.LoginResponse{Token: token})
+}
+
+// metaFromWire converts the wire software block to the domain form.
+func metaFromWire(info wire.SoftwareInfo) (core.SoftwareMeta, error) {
+	id, err := core.ParseSoftwareID(info.ID)
+	if err != nil {
+		return core.SoftwareMeta{}, err
+	}
+	return core.SoftwareMeta{
+		ID:       id,
+		FileName: info.FileName,
+		FileSize: info.FileSize,
+		Vendor:   info.Vendor,
+		Version:  info.Version,
+	}, nil
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req wire.LookupRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	meta, err := metaFromWire(req.Software)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rep, err := s.LookupWithFeeds(meta, req.Feeds)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := wire.LookupResponse{
+		Known:       rep.Known,
+		ID:          meta.ID.String(),
+		Score:       rep.Score.Score,
+		Votes:       rep.Score.Votes,
+		Behaviors:   rep.Score.Behaviors.String(),
+		Vendor:      rep.Vendor.Vendor,
+		VendorScore: rep.Vendor.Score,
+		VendorCount: rep.Vendor.SoftwareCount,
+	}
+	for _, c := range rep.Comments {
+		trust, err := s.UserTrust(c.UserID)
+		if err != nil {
+			trust = 0
+		}
+		resp.Comments = append(resp.Comments, wire.CommentInfo{
+			ID:          c.ID,
+			User:        s.DisplayName(c.UserID),
+			Text:        c.Text,
+			Positive:    c.Positive,
+			Negative:    c.Negative,
+			At:          c.At.Format(wire.TimeFormat),
+			AuthorTrust: trust,
+		})
+	}
+	// Reliable users first (§2.1); ties keep submission order.
+	sort.SliceStable(resp.Comments, func(i, j int) bool {
+		return resp.Comments[i].AuthorTrust > resp.Comments[j].AuthorTrust
+	})
+	for _, fa := range rep.Advice {
+		resp.Advice = append(resp.Advice, wire.AdviceInfo{
+			Feed:      fa.Feed,
+			Score:     fa.Advice.Score,
+			Behaviors: fa.Advice.Behaviors.String(),
+			Note:      fa.Advice.Note,
+		})
+	}
+	writeXML(w, resp)
+}
+
+func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req wire.VoteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	meta, err := metaFromWire(req.Software)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	behaviors, err := core.ParseBehavior(req.Behaviors)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	commentID, err := s.Vote(req.Session, meta, req.Score, behaviors, req.Comment)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeXML(w, wire.VoteResponse{CommentID: commentID})
+}
+
+func (s *Server) handleRemark(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req wire.RemarkRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.Remark(req.Session, req.CommentID, req.Positive); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeXML(w, wire.RemarkResponse{})
+}
+
+func (s *Server) handleVendor(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	var req wire.VendorRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	vs, known, err := s.VendorReport(req.Vendor)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeXML(w, wire.VendorResponse{
+		Vendor:        req.Vendor,
+		Known:         known,
+		Score:         vs.Score,
+		SoftwareCount: vs.SoftwareCount,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.store.Stats()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeXML(w, wire.StatsResponse{
+		Users:    st.Users,
+		Software: st.Software,
+		Ratings:  st.Ratings,
+		Comments: st.Comments,
+		Remarks:  st.Remarks,
+	})
+}

@@ -1,0 +1,439 @@
+package server
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"softreputation/internal/core"
+	"softreputation/internal/identity"
+	"softreputation/internal/repo"
+	"softreputation/internal/vclock"
+)
+
+// Domain operations. The HTTP layer in handlers.go is a thin XML
+// mapping over these methods; simulations call them directly when they
+// do not need the network in the loop.
+
+// Sentinel errors for operation failures beyond the repo constraints.
+var (
+	// ErrCaptchaRequired is returned when registration lacks a valid
+	// CAPTCHA solution and the server requires one.
+	ErrCaptchaRequired = errors.New("server: captcha solution required")
+	// ErrPuzzleRequired is returned when registration lacks a valid
+	// client-puzzle solution and the server requires one.
+	ErrPuzzleRequired = errors.New("server: puzzle solution required")
+	// ErrBadCredentials is returned on login failure. It deliberately
+	// does not distinguish unknown users from wrong passwords.
+	ErrBadCredentials = errors.New("server: bad credentials")
+	// ErrNotActivated is returned when logging in before the e-mail
+	// round trip completed.
+	ErrNotActivated = errors.New("server: account not activated")
+	// ErrBadSession is returned for unknown or expired session tokens.
+	ErrBadSession = errors.New("server: invalid session")
+	// ErrVoteBudget is returned when the per-account daily vote budget
+	// is exhausted.
+	ErrVoteBudget = errors.New("server: daily vote budget exhausted")
+	// ErrSignupThrottled is returned when one source address exceeds
+	// its daily registration budget (§5).
+	ErrSignupThrottled = errors.New("server: too many signups from this address")
+)
+
+// Challenge is the anti-automation material for one registration.
+type Challenge struct {
+	// Captcha is the CAPTCHA to solve (human cost).
+	Captcha identity.Challenge
+	// Puzzle is the client puzzle to solve (computational cost); its
+	// Difficulty is 0 when puzzles are disabled.
+	Puzzle identity.Puzzle
+}
+
+// IssueChallenge mints the registration challenge. The puzzle nonce is
+// recorded server-side and is single-use.
+func (s *Server) IssueChallenge() (Challenge, error) {
+	var ch Challenge
+	c, err := s.captcha.Issue()
+	if err != nil {
+		return ch, fmt.Errorf("server: issue captcha: %w", err)
+	}
+	ch.Captcha = c
+	if s.cfg.PuzzleDifficulty > 0 {
+		p, err := identity.NewPuzzle(s.cfg.PuzzleDifficulty)
+		if err != nil {
+			return ch, fmt.Errorf("server: issue puzzle: %w", err)
+		}
+		ch.Puzzle = p
+		s.mu.Lock()
+		s.puzzles[p.Nonce] = p.Difficulty
+		s.mu.Unlock()
+	}
+	return ch, nil
+}
+
+// CaptchaGate exposes the CAPTCHA gate so (simulated) humans can solve
+// challenges; solving charges their cost meter.
+func (s *Server) CaptchaGate() *identity.CaptchaGate { return s.captcha }
+
+// RequiresCaptcha reports whether registration demands a CAPTCHA
+// solution. Clients use it to decide whether to bother a human.
+func (s *Server) RequiresCaptcha() bool { return s.cfg.RequireCaptcha }
+
+// RegisterParams carries one registration attempt.
+type RegisterParams struct {
+	Username        string
+	Password        string
+	Email           string
+	CaptchaNonce    string
+	CaptchaSolution string
+	PuzzleNonce     string
+	PuzzleSolution  uint64
+}
+
+// Register creates a not-yet-activated account and mails the activation
+// token. It enforces the CAPTCHA (when required), the client puzzle
+// (when enabled), username uniqueness and the one-account-per-address
+// rule. Registrations arriving over the network go through RegisterFrom
+// so the per-IP throttle applies.
+func (s *Server) Register(p RegisterParams) error {
+	return s.RegisterFrom("", p)
+}
+
+// RegisterFrom is Register with the caller's source address, enforcing
+// the §5 per-IP signup throttle when configured. The address is hashed
+// before use and held in memory only — it never reaches the database.
+func (s *Server) RegisterFrom(remoteIP string, p RegisterParams) error {
+	if err := s.allowSignup(remoteIP); err != nil {
+		return err
+	}
+	return s.register(p)
+}
+
+// allowSignup charges one signup against the source address's daily
+// budget; an empty address (in-process callers) is exempt.
+func (s *Server) allowSignup(remoteIP string) error {
+	if s.cfg.MaxSignupsPerIPPerDay <= 0 || remoteIP == "" {
+		return nil
+	}
+	sum := sha256.Sum256([]byte("signup-ip|" + s.cfg.EmailPepper + "|" + remoteIP))
+	key := hex.EncodeToString(sum[:8])
+	day := vclock.DayIndex(vclock.Epoch, s.clock.Now())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.signupIPs[key]
+	if d.day != day {
+		d = voteDay{day: day}
+	}
+	if d.votes >= s.cfg.MaxSignupsPerIPPerDay {
+		return ErrSignupThrottled
+	}
+	d.votes++
+	s.signupIPs[key] = d
+	return nil
+}
+
+func (s *Server) register(p RegisterParams) error {
+	if p.Username == "" || p.Password == "" {
+		return fmt.Errorf("server: username and password are required")
+	}
+	if s.cfg.RequireCaptcha {
+		if err := s.captcha.Verify(identity.Challenge{Nonce: p.CaptchaNonce}, p.CaptchaSolution); err != nil {
+			return ErrCaptchaRequired
+		}
+	}
+	if s.cfg.PuzzleDifficulty > 0 {
+		s.mu.Lock()
+		difficulty, ok := s.puzzles[p.PuzzleNonce]
+		if ok {
+			delete(s.puzzles, p.PuzzleNonce) // single use
+		}
+		s.mu.Unlock()
+		if !ok {
+			return ErrPuzzleRequired
+		}
+		puzzle := identity.Puzzle{Nonce: p.PuzzleNonce, Difficulty: difficulty}
+		if err := puzzle.Verify(p.PuzzleSolution); err != nil {
+			return ErrPuzzleRequired
+		}
+	}
+
+	email, err := identity.NormalizeEmail(p.Email)
+	if err != nil {
+		return err
+	}
+	emailHash, err := s.emailHasher.Hash(email)
+	if err != nil {
+		return err
+	}
+	passHash, err := identity.HashPassword(p.Password)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+
+	now := s.clock.Now()
+	u := repo.User{
+		Username:     p.Username,
+		PasswordHash: passHash,
+		EmailHash:    emailHash,
+		SignedUpAt:   now,
+		Trust:        core.NewTrust(now),
+	}
+	if err := s.store.CreateUser(u); err != nil {
+		return err
+	}
+	token, err := s.tokens.Issue(p.Username, now)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.mailer.SendActivation(email, p.Username, token)
+	return nil
+}
+
+// Activate redeems an activation token and marks the account active.
+func (s *Server) Activate(token string) (string, error) {
+	username, err := s.tokens.Redeem(token, s.clock.Now())
+	if err != nil {
+		return "", err
+	}
+	u, found, err := s.store.GetUser(username)
+	if err != nil {
+		return "", err
+	}
+	if !found {
+		return "", repo.ErrUserNotFound
+	}
+	u.Activated = true
+	if err := s.store.UpdateUser(u); err != nil {
+		return "", err
+	}
+	return username, nil
+}
+
+// Login verifies credentials on an activated account and opens a
+// session, updating the last-login timestamp (one of the only two
+// timestamps the schema keeps).
+func (s *Server) Login(username, password string) (string, error) {
+	u, found, err := s.store.GetUser(username)
+	if err != nil {
+		return "", err
+	}
+	if !found {
+		return "", ErrBadCredentials
+	}
+	if err := identity.VerifyPassword(u.PasswordHash, password); err != nil {
+		return "", ErrBadCredentials
+	}
+	if !u.Activated {
+		return "", ErrNotActivated
+	}
+	u.LastLoginAt = s.clock.Now()
+	if err := s.store.UpdateUser(u); err != nil {
+		return "", err
+	}
+
+	raw := make([]byte, 16)
+	if _, err := rand.Read(raw); err != nil {
+		return "", fmt.Errorf("server: session token: %w", err)
+	}
+	token := hex.EncodeToString(raw)
+	s.mu.Lock()
+	s.sessions[token] = username
+	s.mu.Unlock()
+	return token, nil
+}
+
+// SessionUser resolves a session token to its username.
+func (s *Server) SessionUser(token string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	username, ok := s.sessions[token]
+	if !ok {
+		return "", ErrBadSession
+	}
+	return username, nil
+}
+
+// Logout discards a session token.
+func (s *Server) Logout(token string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, token)
+}
+
+// Report is the server's answer to a lookup: everything the client
+// shows at the execution prompt.
+type Report struct {
+	// Known reports whether the executable had been seen before this
+	// lookup.
+	Known bool
+	// Score is the published aggregated score with its vote count and
+	// behaviour consensus.
+	Score core.SoftwareScore
+	// Vendor is the executable's vendor and its derived rating, when
+	// the vendor is known.
+	Vendor core.VendorScore
+	// Comments are the comments on this executable.
+	Comments []core.Comment
+	// Advice holds subscribed expert feeds' entries for the executable
+	// (§4.2), keyed by feed in submission order.
+	Advice []FeedAdvice
+}
+
+// FeedAdvice pairs an expert feed's name with its advice.
+type FeedAdvice struct {
+	// Feed is the publishing feed's name.
+	Feed string
+	// Advice is the feed's entry.
+	Advice ExpertAdvice
+}
+
+// Lookup returns the report for an executable, registering its metadata
+// on first sight so later votes have a record to attach to.
+func (s *Server) Lookup(meta core.SoftwareMeta) (Report, error) {
+	return s.LookupWithFeeds(meta, nil)
+}
+
+// LookupWithFeeds is Lookup plus the §4.2 subscription mechanism: for
+// each named expert feed, its advice about this executable (if any) is
+// attached to the report. Unknown feed names are simply empty.
+func (s *Server) LookupWithFeeds(meta core.SoftwareMeta, feeds []string) (Report, error) {
+	var rep Report
+	created, err := s.store.UpsertSoftware(meta, s.clock.Now())
+	if err != nil {
+		return rep, err
+	}
+	rep.Known = !created
+
+	if sc, ok, err := s.store.GetScore(meta.ID); err != nil {
+		return rep, err
+	} else if ok {
+		rep.Score = sc
+	} else {
+		rep.Score = core.SoftwareScore{Software: meta.ID}
+	}
+	if meta.VendorKnown() {
+		if vs, ok, err := s.store.GetVendorScore(meta.Vendor); err != nil {
+			return rep, err
+		} else if ok {
+			rep.Vendor = vs
+		} else {
+			rep.Vendor = core.VendorScore{Vendor: meta.Vendor}
+		}
+	}
+	comments, err := s.store.CommentsForSoftware(meta.ID)
+	if err != nil {
+		return rep, err
+	}
+	rep.Comments = comments[:0:0]
+	for _, c := range comments {
+		if c.Hidden {
+			continue // awaiting moderation (§2.1)
+		}
+		rep.Comments = append(rep.Comments, c)
+	}
+
+	for _, name := range feeds {
+		s.mu.Lock()
+		feed := s.feeds[name]
+		s.mu.Unlock()
+		if feed == nil {
+			continue
+		}
+		if advice, ok := feed.Advice(meta.ID); ok {
+			rep.Advice = append(rep.Advice, FeedAdvice{Feed: name, Advice: advice})
+		}
+	}
+	return rep, nil
+}
+
+// Vote casts the session user's single vote on an executable.
+func (s *Server) Vote(session string, meta core.SoftwareMeta, score int, behaviors core.Behavior, comment string) (uint64, error) {
+	username, err := s.SessionUser(session)
+	if err != nil {
+		return 0, err
+	}
+	now := s.clock.Now()
+	if !s.allowVote(username, now) {
+		return 0, ErrVoteBudget
+	}
+	if _, err := s.store.UpsertSoftware(meta, now); err != nil {
+		return 0, err
+	}
+	cid, err := s.store.AddRating(core.Rating{
+		UserID:    username,
+		Software:  meta.ID,
+		Score:     score,
+		Behaviors: behaviors,
+		At:        now,
+	}, comment)
+	if err != nil {
+		return 0, err
+	}
+	if cid != 0 && s.cfg.ModerateComments {
+		if err := s.store.SetCommentHidden(cid, true); err != nil {
+			return cid, err
+		}
+	}
+	return cid, nil
+}
+
+// PendingComments lists the moderation queue.
+func (s *Server) PendingComments() ([]core.Comment, error) {
+	return s.store.PendingComments()
+}
+
+// ApproveComment releases a held comment for publication.
+func (s *Server) ApproveComment(id uint64) error {
+	return s.store.SetCommentHidden(id, false)
+}
+
+// RejectComment keeps a held comment permanently hidden. (The record is
+// retained: the vote behind it still counts, only the text stays
+// unpublished.)
+func (s *Server) RejectComment(id uint64) error {
+	return s.store.SetCommentHidden(id, true)
+}
+
+// Remark records the session user's judgement of a comment and adjusts
+// the comment author's trust factor accordingly (§3.2).
+func (s *Server) Remark(session string, commentID uint64, positive bool) error {
+	username, err := s.SessionUser(session)
+	if err != nil {
+		return err
+	}
+	now := s.clock.Now()
+	author, err := s.store.AddRemark(core.Remark{
+		UserID:    username,
+		CommentID: commentID,
+		Positive:  positive,
+		At:        now,
+	})
+	if err != nil {
+		return err
+	}
+	u, found, err := s.store.GetUser(author)
+	if err != nil || !found {
+		return fmt.Errorf("server: remark author %q: %w", author, err)
+	}
+	u.Trust = u.Trust.ApplyRemark(positive, now)
+	return s.store.UpdateUser(u)
+}
+
+// VendorReport returns a vendor's derived rating.
+func (s *Server) VendorReport(vendor string) (core.VendorScore, bool, error) {
+	return s.store.GetVendorScore(vendor)
+}
+
+// UserTrust returns a user's current trust factor, for admin tooling
+// and experiments.
+func (s *Server) UserTrust(username string) (float64, error) {
+	u, found, err := s.store.GetUser(username)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, repo.ErrUserNotFound
+	}
+	return u.Trust.Value, nil
+}

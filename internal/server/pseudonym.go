@@ -1,0 +1,50 @@
+package server
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Pseudonymous display names — the §5 future-work item "investigate how
+// pseudonyms could be used as a way to protect user privacy and
+// anonymity". When Config.UsePseudonyms is set, everything the server
+// publishes (lookup comments, the web view) shows a stable pseudonym
+// derived from the username under a keyed hash instead of the username
+// itself. Accountability is preserved — one user keeps one pseudonym,
+// so trust and remark history still attach to a single public identity
+// — while the login name never leaves the server.
+//
+// The derivation key includes the e-mail pepper, so pseudonyms are
+// stable across restarts but unlinkable without the server secret.
+
+var pseudoAdjectives = [...]string{
+	"amber", "brisk", "calm", "dapper", "eager", "fuzzy", "gentle", "hazel",
+	"icy", "jolly", "keen", "lively", "mellow", "nimble", "opal", "plucky",
+	"quiet", "rustic", "silver", "tidy", "umber", "vivid", "wry", "zesty",
+	"bold", "crisp", "dusky", "early", "fleet", "glad", "hardy", "iron",
+}
+
+var pseudoNouns = [...]string{
+	"falcon", "badger", "cedar", "dingo", "ember", "fjord", "gull", "heron",
+	"ibis", "jackal", "krill", "lynx", "marten", "newt", "otter", "pike",
+	"quail", "raven", "stoat", "tern", "urchin", "vole", "wren", "yak",
+	"aspen", "birch", "comet", "delta", "echo", "flint", "grove", "harbor",
+}
+
+// DisplayName returns the public name for a username: the username
+// itself when pseudonyms are off, otherwise a stable pseudonym like
+// "gentle-heron-417".
+func (s *Server) DisplayName(username string) string {
+	if !s.cfg.UsePseudonyms {
+		return username
+	}
+	mac := hmac.New(sha256.New, []byte("pseudonym|"+s.cfg.EmailPepper))
+	mac.Write([]byte(username))
+	sum := mac.Sum(nil)
+	adj := pseudoAdjectives[int(sum[0])%len(pseudoAdjectives)]
+	noun := pseudoNouns[int(sum[1])%len(pseudoNouns)]
+	num := binary.BigEndian.Uint16(sum[2:4]) % 1000
+	return fmt.Sprintf("%s-%s-%03d", adj, noun, num)
+}

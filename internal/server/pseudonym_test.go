@@ -1,0 +1,111 @@
+package server
+
+import (
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"softreputation/internal/repo"
+	"softreputation/internal/vclock"
+	"softreputation/internal/wire"
+)
+
+func TestDisplayNamePassThroughWhenDisabled(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	if got := s.DisplayName("alice"); got != "alice" {
+		t.Fatalf("DisplayName = %q", got)
+	}
+}
+
+func TestDisplayNamePseudonymProperties(t *testing.T) {
+	s, _ := newTestServer(t, func(c *Config) { c.UsePseudonyms = true })
+
+	p1 := s.DisplayName("alice")
+	p2 := s.DisplayName("alice")
+	p3 := s.DisplayName("bob")
+	if p1 != p2 {
+		t.Fatalf("pseudonym not stable: %q vs %q", p1, p2)
+	}
+	if p1 == p3 {
+		t.Fatalf("distinct users share pseudonym %q", p1)
+	}
+	if strings.Contains(p1, "alice") {
+		t.Fatalf("pseudonym leaks the username: %q", p1)
+	}
+	if ok, _ := regexp.MatchString(`^[a-z]+-[a-z]+-\d{3}$`, p1); !ok {
+		t.Fatalf("pseudonym format: %q", p1)
+	}
+
+	// The pseudonym depends on the server secret: a different pepper
+	// yields a different mapping, so a dump of one deployment does not
+	// de-pseudonymise another.
+	s2, _ := newTestServer(t, func(c *Config) {
+		c.UsePseudonyms = true
+		c.EmailPepper = "other-secret"
+	})
+	if s2.DisplayName("alice") == p1 {
+		t.Fatal("pseudonyms identical across different secrets")
+	}
+}
+
+func TestPseudonymsOnTheWireAndWeb(t *testing.T) {
+	store := repo.OpenMemory()
+	t.Cleanup(func() { store.Close() })
+	s, err := New(Config{
+		Store:         store,
+		Clock:         vclock.NewVirtual(vclock.Epoch),
+		EmailPepper:   "pepper",
+		UsePseudonyms: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := registerAndLogin(t, s, "realname")
+	meta := testMeta(1)
+	if _, err := s.Vote(session, meta, 4, 0, "shows pop-ups"); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Wire lookup: the comment author must be pseudonymous.
+	var buf strings.Builder
+	if err := wire.Encode(&buf, wire.LookupRequest{Software: wire.SoftwareInfo{
+		ID: meta.ID.String(), FileName: meta.FileName, FileSize: meta.FileSize,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+wire.PathLookup, wire.ContentType, strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "realname") {
+		t.Fatalf("wire response leaks the username:\n%s", body)
+	}
+	var look wire.LookupResponse
+	if err := wire.Decode(strings.NewReader(string(body)), &look); err != nil {
+		t.Fatal(err)
+	}
+	if len(look.Comments) != 1 || look.Comments[0].User != s.DisplayName("realname") {
+		t.Fatalf("comment author = %+v", look.Comments)
+	}
+
+	// Web detail page: same guarantee.
+	resp, err = ts.Client().Get(ts.URL + "/software/" + meta.ID.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(page), "realname") {
+		t.Fatalf("web page leaks the username:\n%.300s", page)
+	}
+	if !strings.Contains(string(page), s.DisplayName("realname")) {
+		t.Fatal("web page missing the pseudonym")
+	}
+}

@@ -1,0 +1,336 @@
+// Package server implements the reputation system's server side (§3.2):
+// account registration with e-mail activation and anti-automation
+// challenges, session login, software lookup, voting with the one-vote
+// rule, comment remarks driving trust factors, the 24-hour aggregation
+// job that turns votes into published software and vendor scores, a
+// bootstrap path for seeding the database (§2.1), expert feeds (§4.2)
+// and a minimal HTML web view.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"softreputation/internal/core"
+	"softreputation/internal/identity"
+	"softreputation/internal/repo"
+	"softreputation/internal/vclock"
+)
+
+// Config configures New.
+type Config struct {
+	// Store is the persistence layer; required.
+	Store *repo.Store
+	// Clock is the time source; nil selects the system clock.
+	Clock vclock.Clock
+	// EmailPepper is the secret string concatenated with e-mail
+	// addresses before hashing (§2.2). An empty pepper degrades to the
+	// brute-forceable plain hash, which experiment E10 demonstrates.
+	EmailPepper string
+	// RequireCaptcha gates registration behind the CAPTCHA challenge.
+	RequireCaptcha bool
+	// PuzzleDifficulty enables hash-preimage client puzzles at
+	// registration when > 0 (§5 future work).
+	PuzzleDifficulty int
+	// Aggregation selects the score aggregation policy; nil selects
+	// core.DefaultAggregationPolicy. (A pointer, so that the all-false
+	// unweighted ablation is expressible.)
+	Aggregation *core.AggregationPolicy
+	// MaxVotesPerUserPerDay throttles vote submission per account;
+	// 0 means unlimited. The one-vote-per-software rule always applies.
+	MaxVotesPerUserPerDay int
+	// Mailer delivers activation tokens; nil selects an in-memory
+	// mailer (retrievable via the returned server's Mailer method).
+	Mailer Mailer
+	// UsePseudonyms replaces usernames with stable pseudonyms in every
+	// published view (§5 future work).
+	UsePseudonyms bool
+	// ModerateComments holds every new comment for administrator
+	// approval before publication — §2.1's third mitigation: "one or
+	// more administrators keeping track of all ratings and comments
+	// going into the system, verifying the validity and quality of the
+	// comments prior to allowing other users to view them".
+	ModerateComments bool
+	// MaxSignupsPerIPPerDay throttles registrations per source address
+	// (§5: "relying on the IP address"); 0 disables. Addresses are kept
+	// hashed and in memory only — nothing about them reaches the store,
+	// preserving the §2.2 no-IPs rule.
+	MaxSignupsPerIPPerDay int
+}
+
+// Server is the reputation server. It is safe for concurrent use.
+type Server struct {
+	store       *repo.Store
+	clock       vclock.Clock
+	emailHasher *identity.EmailHasher
+	tokens      *identity.TokenIssuer
+	captcha     *identity.CaptchaGate
+	mailer      Mailer
+	cfg         Config
+
+	mu        sync.Mutex
+	sessions  map[string]string // session token -> username
+	puzzles   map[string]int    // outstanding puzzle nonce -> difficulty
+	voteDays  map[string]voteDay
+	signupIPs map[string]voteDay // hashed source address -> per-day count
+	feeds     map[string]*ExpertFeed
+	aggSched  core.AggregationSchedule
+	aggPolicy core.AggregationPolicy
+}
+
+type voteDay struct {
+	day   int
+	votes int
+}
+
+// New creates a server over the given configuration.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	policy := core.DefaultAggregationPolicy()
+	if cfg.Aggregation != nil {
+		policy = *cfg.Aggregation
+	}
+	mailer := cfg.Mailer
+	if mailer == nil {
+		mailer = NewMemoryMailer()
+	}
+	gate, err := identity.NewCaptchaGate()
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	sched, err := cfg.Store.AggregationState()
+	if err != nil {
+		return nil, fmt.Errorf("server: load aggregation state: %w", err)
+	}
+	return &Server{
+		store:       cfg.Store,
+		clock:       cfg.Clock,
+		emailHasher: identity.NewEmailHasher(cfg.EmailPepper),
+		tokens:      identity.NewTokenIssuer(0),
+		captcha:     gate,
+		mailer:      mailer,
+		cfg:         cfg,
+		sessions:    make(map[string]string),
+		puzzles:     make(map[string]int),
+		voteDays:    make(map[string]voteDay),
+		signupIPs:   make(map[string]voteDay),
+		feeds:       make(map[string]*ExpertFeed),
+		aggSched:    sched,
+		aggPolicy:   policy,
+	}, nil
+}
+
+// Store exposes the repository for admin tooling and experiments.
+func (s *Server) Store() *repo.Store { return s.store }
+
+// Mailer exposes the activation mail channel, so simulated clients can
+// read their activation tokens.
+func (s *Server) Mailer() Mailer { return s.mailer }
+
+// Now returns the server's current time.
+func (s *Server) Now() time.Time { return s.clock.Now() }
+
+// MaybeAggregate runs the aggregation job if a 24-hour period has
+// elapsed since the previous run (§3.2). It reports whether a run
+// happened.
+func (s *Server) MaybeAggregate() (bool, error) {
+	now := s.clock.Now()
+	s.mu.Lock()
+	due := s.aggSched.Due(now)
+	s.mu.Unlock()
+	if !due {
+		return false, nil
+	}
+	if err := s.RunAggregation(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RunAggregation recomputes every published software score with the
+// current trust factors, then derives vendor scores, and persists the
+// schedule. It is the §3.2 fixed-point job, runnable on demand for
+// admin tooling and experiments.
+func (s *Server) RunAggregation() error {
+	now := s.clock.Now()
+
+	// Trust factors are read once: each user's current factor weights
+	// all of their votes.
+	trust := make(map[string]float64)
+	err := s.store.ForEachUser(func(u repo.User) bool {
+		trust[u.Username] = u.Trust.Value
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("server: aggregation user scan: %w", err)
+	}
+
+	type vendorAcc struct {
+		scores []core.SoftwareScore
+	}
+	vendors := make(map[string]*vendorAcc)
+	var batch []core.SoftwareScore
+
+	var scanErr error
+	err = s.store.ForEachSoftware(func(sw repo.Software) bool {
+		ratings, err := s.store.RatingsForSoftware(sw.Meta.ID)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		votes := make([]core.WeightedVote, len(ratings))
+		behaviors := make([]core.Behavior, len(ratings))
+		for i, r := range ratings {
+			votes[i] = core.WeightedVote{Score: r.Score, Trust: trust[r.UserID]}
+			behaviors[i] = r.Behaviors
+		}
+		// A bootstrapped entry contributes its imported mass as prior
+		// votes (§2.1): early live votes are "one out of many, rather
+		// than the one and only".
+		pol := s.aggPolicy
+		var priorVotes int
+		var priorBehaviors core.Behavior
+		if prior, ok, err := s.store.GetBootstrapPrior(sw.Meta.ID); err != nil {
+			scanErr = err
+			return false
+		} else if ok {
+			pol.PriorVotes = float64(prior.Votes)
+			pol.PriorScore = prior.Score
+			priorVotes = prior.Votes
+			priorBehaviors = prior.Behaviors
+		}
+		score := core.SoftwareScore{
+			Software:   sw.Meta.ID,
+			Score:      pol.Aggregate(votes),
+			Votes:      len(votes) + priorVotes,
+			Behaviors:  pol.BehaviorConsensus(votes, behaviors) | priorBehaviors,
+			ComputedAt: now,
+		}
+		if len(votes) == 0 && priorVotes == 0 {
+			score.Score = 0
+		}
+		batch = append(batch, score)
+		if sw.Meta.VendorKnown() {
+			acc := vendors[sw.Meta.Vendor]
+			if acc == nil {
+				acc = &vendorAcc{}
+				vendors[sw.Meta.Vendor] = acc
+			}
+			acc.scores = append(acc.scores, score)
+		}
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("server: aggregation software scan: %w", err)
+	}
+	if scanErr != nil {
+		return fmt.Errorf("server: aggregation rating scan: %w", scanErr)
+	}
+
+	if err := s.store.SetScores(batch); err != nil {
+		return fmt.Errorf("server: publish scores: %w", err)
+	}
+	names := make([]string, 0, len(vendors))
+	for v := range vendors {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		if err := s.store.SetVendorScore(core.AggregateVendor(v, vendors[v].scores)); err != nil {
+			return fmt.Errorf("server: publish vendor score: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	s.aggSched = s.aggSched.Ran(now)
+	sched := s.aggSched
+	s.mu.Unlock()
+	if err := s.store.SetAggregationState(sched); err != nil {
+		return fmt.Errorf("server: persist schedule: %w", err)
+	}
+	return nil
+}
+
+// BootstrapEntry seeds one program into the database before launch, the
+// §2.1 cold-start mitigation: "copying the information from an existing,
+// more or less reliable, software rating database".
+type BootstrapEntry struct {
+	// Meta identifies and describes the executable.
+	Meta core.SoftwareMeta
+	// Score is the imported 1–10 rating.
+	Score float64
+	// Votes is the imported vote count, which makes novice votes "one
+	// out of many, rather than the one and only".
+	Votes int
+	// Behaviors is the imported behaviour profile.
+	Behaviors core.Behavior
+}
+
+// Bootstrap imports entries into the database and publishes their
+// scores immediately.
+func (s *Server) Bootstrap(entries []BootstrapEntry) error {
+	now := s.clock.Now()
+	var scores []core.SoftwareScore
+	vendors := make(map[string][]core.SoftwareScore)
+	for _, e := range entries {
+		if _, err := s.store.UpsertSoftware(e.Meta, now); err != nil {
+			return fmt.Errorf("server: bootstrap upsert: %w", err)
+		}
+		err := s.store.SetBootstrapPrior(e.Meta.ID, repo.BootstrapPrior{
+			Score:     e.Score,
+			Votes:     e.Votes,
+			Behaviors: e.Behaviors,
+		})
+		if err != nil {
+			return fmt.Errorf("server: bootstrap prior: %w", err)
+		}
+		sc := core.SoftwareScore{
+			Software:   e.Meta.ID,
+			Score:      e.Score,
+			Votes:      e.Votes,
+			Behaviors:  e.Behaviors,
+			ComputedAt: now,
+		}
+		scores = append(scores, sc)
+		if e.Meta.VendorKnown() {
+			vendors[e.Meta.Vendor] = append(vendors[e.Meta.Vendor], sc)
+		}
+	}
+	if err := s.store.SetScores(scores); err != nil {
+		return fmt.Errorf("server: bootstrap scores: %w", err)
+	}
+	for v, list := range vendors {
+		if err := s.store.SetVendorScore(core.AggregateVendor(v, list)); err != nil {
+			return fmt.Errorf("server: bootstrap vendor score: %w", err)
+		}
+	}
+	return nil
+}
+
+// allowVote enforces the optional per-account daily vote budget.
+func (s *Server) allowVote(username string, now time.Time) bool {
+	if s.cfg.MaxVotesPerUserPerDay <= 0 {
+		return true
+	}
+	day := vclock.DayIndex(vclock.Epoch, now)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.voteDays[username]
+	if d.day != day {
+		d = voteDay{day: day}
+	}
+	if d.votes >= s.cfg.MaxVotesPerUserPerDay {
+		return false
+	}
+	d.votes++
+	s.voteDays[username] = d
+	return true
+}

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+
+	"softreputation/internal/core"
+	"softreputation/internal/repo"
+)
+
+// The web view (§3): "The system will also offer a web based interface,
+// which gives the users more possibilities in searching the information
+// stored in the database" — an index of rated software and a detail
+// page per executable with its comments.
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>softreputation</title></head><body>
+<h1>Software Reputation System</h1>
+<p>{{.Stats.Users}} users &middot; {{.Stats.Software}} software &middot; {{.Stats.Ratings}} ratings &middot; {{.Stats.Comments}} comments</p>
+<form action="/search" method="get"><input name="q" value="{{.Query}}" placeholder="file name or vendor"/> <input type="submit" value="Search"/></form>
+<table border="1" cellpadding="4">
+<tr><th>Software</th><th>Vendor</th><th>Version</th><th>Score</th><th>Votes</th><th>Behaviours</th></tr>
+{{range .Rows}}
+<tr><td><a href="/software/{{.ID}}">{{.Name}}</a></td><td>{{.Vendor}}</td><td>{{.Version}}</td><td>{{printf "%.1f" .Score}}</td><td>{{.Votes}}</td><td>{{.Behaviors}}</td></tr>
+{{end}}
+</table></body></html>`))
+
+var detailTmpl = template.Must(template.New("detail").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Name}} — softreputation</title></head><body>
+<h1>{{.Name}}</h1>
+<p>Vendor: {{.Vendor}} &middot; Version: {{.Version}} &middot; Size: {{.Size}} bytes</p>
+<p>Score: <b>{{printf "%.1f" .Score}}</b> from {{.Votes}} votes &middot; Behaviours: {{.Behaviors}}</p>
+<p>Vendor rating: {{printf "%.1f" .VendorScore}} over {{.VendorCount}} programs</p>
+<h2>Comments</h2>
+<ul>
+{{range .Comments}}<li><b>{{.UserID}}</b>: {{.Text}} (+{{.Positive}}/-{{.Negative}})</li>
+{{else}}<li>No comments yet.</li>{{end}}
+</ul>
+<p><a href="/">Back</a></p>
+</body></html>`))
+
+type indexRow struct {
+	ID        string
+	Name      string
+	Vendor    string
+	Version   string
+	Score     float64
+	Votes     int
+	Behaviors string
+}
+
+func (s *Server) registerWeb(mux *http.ServeMux) {
+	mux.HandleFunc("/", s.handleWebIndex)
+	mux.HandleFunc("/search", s.handleWebSearch)
+	mux.HandleFunc("/software/", s.handleWebSoftware)
+}
+
+func (s *Server) handleWebIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	stats, err := s.store.Stats()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	const maxRows = 200
+	var rows []indexRow
+	err = s.store.ForEachSoftware(func(sw repo.Software) bool {
+		row := indexRow{
+			ID:      sw.Meta.ID.String(),
+			Name:    sw.Meta.FileName,
+			Vendor:  sw.Meta.Vendor,
+			Version: sw.Meta.Version,
+		}
+		if sc, ok, _ := s.store.GetScore(sw.Meta.ID); ok {
+			row.Score = sc.Score
+			row.Votes = sc.Votes
+			row.Behaviors = sc.Behaviors.String()
+		}
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Score != rows[j].Score {
+			return rows[i].Score > rows[j].Score
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTmpl.Execute(w, struct {
+		Stats repo.Stats
+		Rows  []indexRow
+		Query string
+	}{stats, rows, ""})
+}
+
+// handleWebSearch implements the §3 promise that the web interface
+// "gives the users more possibilities in searching the information
+// stored in the database": substring search over file names and vendor
+// names, case-insensitive.
+func (s *Server) handleWebSearch(w http.ResponseWriter, r *http.Request) {
+	query := strings.TrimSpace(r.URL.Query().Get("q"))
+	stats, err := s.store.Stats()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var rows []indexRow
+	if query != "" {
+		needle := strings.ToLower(query)
+		err = s.store.ForEachSoftware(func(sw repo.Software) bool {
+			if !strings.Contains(strings.ToLower(sw.Meta.FileName), needle) &&
+				!strings.Contains(strings.ToLower(sw.Meta.Vendor), needle) {
+				return true
+			}
+			row := indexRow{
+				ID:      sw.Meta.ID.String(),
+				Name:    sw.Meta.FileName,
+				Vendor:  sw.Meta.Vendor,
+				Version: sw.Meta.Version,
+			}
+			if sc, ok, _ := s.store.GetScore(sw.Meta.ID); ok {
+				row.Score = sc.Score
+				row.Votes = sc.Votes
+				row.Behaviors = sc.Behaviors.String()
+			}
+			rows = append(rows, row)
+			return len(rows) < 500
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTmpl.Execute(w, struct {
+		Stats repo.Stats
+		Rows  []indexRow
+		Query string
+	}{stats, rows, query})
+}
+
+func (s *Server) handleWebSoftware(w http.ResponseWriter, r *http.Request) {
+	idHex := r.URL.Path[len("/software/"):]
+	id, err := core.ParseSoftwareID(idHex)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	sw, found, err := s.store.GetSoftware(id)
+	if err != nil || !found {
+		http.NotFound(w, r)
+		return
+	}
+	var score core.SoftwareScore
+	if sc, ok, _ := s.store.GetScore(id); ok {
+		score = sc
+	}
+	var vendor core.VendorScore
+	if sw.Meta.VendorKnown() {
+		if vs, ok, _ := s.store.GetVendorScore(sw.Meta.Vendor); ok {
+			vendor = vs
+		}
+	}
+	comments, err := s.store.CommentsForSoftware(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	visible := comments[:0:0]
+	for _, c := range comments {
+		if c.Hidden {
+			continue
+		}
+		c.UserID = s.DisplayName(c.UserID)
+		visible = append(visible, c)
+	}
+	comments = visible
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = detailTmpl.Execute(w, struct {
+		Name, Vendor, Version string
+		Size                  int64
+		Score                 float64
+		Votes                 int
+		Behaviors             string
+		VendorScore           float64
+		VendorCount           int
+		Comments              []core.Comment
+	}{
+		Name: sw.Meta.FileName, Vendor: sw.Meta.Vendor, Version: sw.Meta.Version,
+		Size: sw.Meta.FileSize, Score: score.Score, Votes: score.Votes,
+		Behaviors: score.Behaviors.String(), VendorScore: vendor.Score,
+		VendorCount: vendor.SoftwareCount, Comments: comments,
+	})
+}

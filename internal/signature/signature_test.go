@@ -1,0 +1,104 @@
+package signature
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSignVerify(t *testing.T) {
+	signer, err := NewSigner("Acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore()
+	ts.RegisterKey("Acme", signer.PublicKey())
+
+	content := []byte("the program bytes")
+	sig := signer.Sign(content)
+	if err := ts.Verify(content, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyTamperedContent(t *testing.T) {
+	signer, _ := NewSigner("Acme")
+	ts := NewTrustStore()
+	ts.RegisterKey("Acme", signer.PublicKey())
+	sig := signer.Sign([]byte("original"))
+	if err := ts.Verify([]byte("tampered"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered content err = %v", err)
+	}
+}
+
+func TestVerifyForgedVendor(t *testing.T) {
+	real, _ := NewSigner("Microsoft")
+	fake, _ := NewSigner("Microsoft") // attacker generated their own key
+	ts := NewTrustStore()
+	ts.RegisterKey("Microsoft", real.PublicKey())
+	content := []byte("malware.exe")
+	sig := fake.Sign(content)
+	if err := ts.Verify(content, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("forged vendor signature err = %v", err)
+	}
+}
+
+func TestVerifyUnknownVendorAndUnsigned(t *testing.T) {
+	ts := NewTrustStore()
+	signer, _ := NewSigner("Nobody")
+	sig := signer.Sign([]byte("x"))
+	if err := ts.Verify([]byte("x"), sig); !errors.Is(err, ErrUnknownVendor) {
+		t.Fatalf("unknown vendor err = %v", err)
+	}
+	if err := ts.Verify([]byte("x"), Detached{}); !errors.Is(err, ErrNotSigned) {
+		t.Fatalf("unsigned err = %v", err)
+	}
+}
+
+func TestTrustDecisionSeparateFromValidity(t *testing.T) {
+	signer, _ := NewSigner("Adware Inc")
+	ts := NewTrustStore()
+	ts.RegisterKey("Adware Inc", signer.PublicKey())
+	content := []byte("bundle.exe")
+	sig := signer.Sign(content)
+
+	// Valid signature, untrusted vendor: no auto-allow.
+	if err := ts.Verify(content, sig); err != nil {
+		t.Fatalf("signature should be cryptographically valid: %v", err)
+	}
+	if ts.VerifyTrusted(content, sig) {
+		t.Fatal("untrusted vendor auto-allowed")
+	}
+
+	ts.SetTrusted("Adware Inc", true)
+	if !ts.VerifyTrusted(content, sig) {
+		t.Fatal("trusted vendor not auto-allowed")
+	}
+	ts.SetTrusted("Adware Inc", false)
+	if ts.VerifyTrusted(content, sig) {
+		t.Fatal("revoked trust still auto-allows")
+	}
+}
+
+func TestTrustedVendorsListing(t *testing.T) {
+	ts := NewTrustStore()
+	ts.SetTrusted("Zebra", true)
+	ts.SetTrusted("Alpha", true)
+	ts.SetTrusted("Mid", false)
+	got := ts.TrustedVendors()
+	if len(got) != 2 || got[0] != "Alpha" || got[1] != "Zebra" {
+		t.Fatalf("TrustedVendors = %v", got)
+	}
+	if ts.IsTrusted("Mid") || !ts.IsTrusted("Alpha") {
+		t.Fatal("IsTrusted wrong")
+	}
+}
+
+func TestDetachedString(t *testing.T) {
+	if (Detached{}).String() != "unsigned" {
+		t.Fatal("zero signature must render as unsigned")
+	}
+	signer, _ := NewSigner("V")
+	if s := signer.Sign([]byte("x")).String(); s == "unsigned" || s == "" {
+		t.Fatalf("signature render = %q", s)
+	}
+}

@@ -1,0 +1,135 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"softreputation/internal/core"
+	"softreputation/internal/hostsim"
+)
+
+// AgentClass is a user archetype.
+type AgentClass int
+
+// The archetypes of §2.1: experienced users whose feedback is accurate,
+// novices whose votes are noisy and sometimes plain wrong ("ignorant
+// users voting and leaving feedback on programs they know nothing or
+// little about").
+const (
+	// Novice users rate with high noise and occasionally mis-rate
+	// completely — e.g. giving a PIS-bundled installer a high grade.
+	Novice AgentClass = iota
+	// Expert users rate close to the informed-expert ground truth and
+	// reliably report behaviours.
+	Expert
+)
+
+// String returns the class name.
+func (c AgentClass) String() string {
+	if c == Expert {
+		return "expert"
+	}
+	return "novice"
+}
+
+// Agent is one simulated community member.
+type Agent struct {
+	// Name is the account username.
+	Name string
+	// Class is the archetype.
+	Class AgentClass
+	// Session is the logged-in session token, filled by the world.
+	Session string
+
+	rng *rand.Rand
+}
+
+// NewAgent creates an agent with its own deterministic noise source.
+func NewAgent(name string, class AgentClass, seed int64) *Agent {
+	return &Agent{Name: name, Class: class, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Observe produces the agent's honest-but-imperfect rating of an
+// executable they have used: the ground-truth score perturbed by
+// class-dependent noise, and the subset of true behaviours the agent
+// noticed.
+func (a *Agent) Observe(exe *hostsim.Executable) (score int, behaviors core.Behavior) {
+	truth := exe.Profile.TrueScore
+	switch a.Class {
+	case Expert:
+		score = roundScore(truth + a.rng.NormFloat64()*0.5)
+		behaviors = a.noticeBehaviors(exe.Profile.Behaviors, 0.9)
+	default:
+		// §2.1's budding-phase hazard: one novice in five grades a
+		// program they barely understand essentially at random.
+		if a.rng.Float64() < 0.2 {
+			score = 1 + a.rng.Intn(core.ScoreMax)
+		} else {
+			score = roundScore(truth + a.rng.NormFloat64()*2.0)
+		}
+		behaviors = a.noticeBehaviors(exe.Profile.Behaviors, 0.4)
+	}
+	return score, behaviors
+}
+
+// noticeBehaviors keeps each true behaviour flag with probability p.
+func (a *Agent) noticeBehaviors(truth core.Behavior, p float64) core.Behavior {
+	var out core.Behavior
+	for bit := 0; bit < core.NumBehaviors; bit++ {
+		flag := core.Behavior(1 << bit)
+		if truth.Has(flag) && a.rng.Float64() < p {
+			out |= flag
+		}
+	}
+	return out
+}
+
+// Comment writes a short comment matching the agent's observation, so
+// the comment/remark machinery has realistic content to chew on.
+func (a *Agent) Comment(score int, behaviors core.Behavior) string {
+	switch {
+	case score >= 8:
+		return "works well, no problems observed"
+	case score >= 5:
+		return fmt.Sprintf("usable but note: %s", behaviors)
+	default:
+		return fmt.Sprintf("avoid this one: %s", behaviors)
+	}
+}
+
+func roundScore(v float64) int {
+	s := int(v + 0.5)
+	if s < core.ScoreMin {
+		s = core.ScoreMin
+	}
+	if s > core.ScoreMax {
+		s = core.ScoreMax
+	}
+	return s
+}
+
+// PopulationConfig controls population generation.
+type PopulationConfig struct {
+	// Seed drives deterministic generation.
+	Seed int64
+	// Total is the number of agents.
+	Total int
+	// ExpertFrac is the fraction of experts; the rest are novices.
+	ExpertFrac float64
+}
+
+// GeneratePopulation creates the agent list (without accounts; the
+// world registers them).
+func GeneratePopulation(cfg PopulationConfig) []*Agent {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	agents := make([]*Agent, 0, cfg.Total)
+	for i := 0; i < cfg.Total; i++ {
+		class := Novice
+		if rng.Float64() < cfg.ExpertFrac {
+			class = Expert
+		}
+		agents = append(agents, NewAgent(
+			fmt.Sprintf("user-%05d", i), class, cfg.Seed*7_919+int64(i)))
+	}
+	return agents
+}

@@ -1,0 +1,137 @@
+package simulation
+
+import (
+	"fmt"
+	"strings"
+
+	"softreputation/internal/core"
+	"softreputation/internal/metrics"
+)
+
+// Experiment T1 — Table 1 of the paper: the 3×3 classification of
+// privacy-invasive software by user consent (high, medium, low) against
+// negative user consequences (tolerable, moderate, severe), populated
+// with the counts of a synthetic catalog.
+
+// Table1Result is the populated classification matrix.
+type Table1Result struct {
+	// Counts indexes cell counts by Table 1 category.
+	Counts map[core.Category]int
+	// Total is the catalog size.
+	Total int
+	// VerdictCounts rolls the cells up into the coarse verdicts.
+	VerdictCounts map[core.Verdict]int
+}
+
+// RunTable1 classifies a synthetic catalog into Table 1.
+func RunTable1(cfg CatalogConfig) Table1Result {
+	cat := GenerateCatalog(cfg)
+	res := Table1Result{
+		Counts:        map[core.Category]int{},
+		VerdictCounts: map[core.Verdict]int{},
+		Total:         len(cat.Items),
+	}
+	for _, exe := range cat.Items {
+		// Classify from the (consent, consequence) axes — the same path
+		// a deployment would use — and cross-check against the stored
+		// cell.
+		cell := core.Classify(exe.Profile.Category.Consent(), exe.Profile.Category.Consequence())
+		res.Counts[cell]++
+		res.VerdictCounts[cell.Verdict()]++
+	}
+	return res
+}
+
+// String renders the matrix in the paper's layout.
+func (r Table1Result) String() string {
+	t := metrics.NewTable("consent \\ consequence", "tolerable", "moderate", "severe")
+	consents := []core.Consent{core.ConsentHigh, core.ConsentMedium, core.ConsentLow}
+	for _, consent := range consents {
+		row := []string{consent.String()}
+		for _, consequence := range []core.Consequence{
+			core.ConsequenceTolerable, core.ConsequenceModerate, core.ConsequenceSevere,
+		} {
+			cell := core.Classify(consent, consequence)
+			row = append(row, fmt.Sprintf("%d) %s: %d", int(cell), cell, r.Counts[cell]))
+		}
+		t.AddRow(row...)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — PIS classification of %d programs\n\n", r.Total)
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nverdicts: legitimate=%d spyware=%d malware=%d\n",
+		r.VerdictCounts[core.VerdictLegitimate],
+		r.VerdictCounts[core.VerdictSpyware],
+		r.VerdictCounts[core.VerdictMalware])
+	return b.String()
+}
+
+// Experiment T2 — Table 2: with the reputation system deployed, users
+// make informed decisions, so the medium-consent row disappears:
+// honestly disclosed grey-zone software rises to high consent,
+// deceitful software drops to low consent (malware).
+
+// Table2Result is the transformed matrix.
+type Table2Result struct {
+	// Before is the Table 1 matrix.
+	Before Table1Result
+	// After indexes post-transform counts by category; all medium
+	// consent cells are empty by construction.
+	After map[core.Category]int
+	// MediumBefore is how many programs sat in the grey zone.
+	MediumBefore int
+	// ToHigh and ToLow count where the grey zone went.
+	ToHigh, ToLow int
+}
+
+// RunTable2 applies the reputation-induced transform to a catalog.
+func RunTable2(cfg CatalogConfig) Table2Result {
+	cat := GenerateCatalog(cfg)
+	res := Table2Result{
+		Before: RunTable1(cfg),
+		After:  map[core.Category]int{},
+	}
+	for _, exe := range cat.Items {
+		before := exe.Profile.Category
+		after := core.TransformCategory(before, exe.Profile.Deceitful)
+		res.After[after]++
+		if before.Consent() == core.ConsentMedium {
+			res.MediumBefore++
+			switch after.Consent() {
+			case core.ConsentHigh:
+				res.ToHigh++
+			case core.ConsentLow:
+				res.ToLow++
+			}
+		}
+	}
+	return res
+}
+
+// String renders the transformed 2×3 matrix in the paper's layout.
+func (r Table2Result) String() string {
+	t := metrics.NewTable("consent \\ consequence", "tolerable", "moderate", "severe")
+	for _, consent := range []core.Consent{core.ConsentHigh, core.ConsentLow} {
+		row := []string{consent.String()}
+		for _, consequence := range []core.Consequence{
+			core.ConsequenceTolerable, core.ConsequenceModerate, core.ConsequenceSevere,
+		} {
+			cell := core.Classify(consent, consequence)
+			row = append(row, fmt.Sprintf("%d) %s: %d", int(cell), cell, r.After[cell]))
+		}
+		t.AddRow(row...)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 — classification after reputation deployment (%d programs)\n\n", r.Before.Total)
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\ngrey zone before: %d; informed consent resolved %d up (legitimate side) and %d down (malware side)\n",
+		r.MediumBefore, r.ToHigh, r.ToLow)
+	mediumAfter := 0
+	for cell, n := range r.After {
+		if cell.Consent() == core.ConsentMedium {
+			mediumAfter += n
+		}
+	}
+	fmt.Fprintf(&b, "medium-consent programs remaining: %d\n", mediumAfter)
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package simulation
+
+import (
+	"net/http/httptest"
+
+	"softreputation/internal/client"
+)
+
+// Harness exposes a world's server over real HTTP, so client-side
+// experiments exercise the wire protocol end to end. Session tokens
+// issued in-process (world enrollment) are valid over HTTP: both paths
+// share the server's session table.
+type Harness struct {
+	// World is the underlying simulated deployment.
+	World *World
+	// API is a client API bound to the HTTP endpoint.
+	API *client.API
+
+	ts *httptest.Server
+}
+
+// NewHarness boots a world and serves it over HTTP.
+func NewHarness(cfg WorldConfig) (*Harness, error) {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(w.Server.Handler())
+	return &Harness{
+		World: w,
+		API:   client.NewAPI(ts.URL, ts.Client()),
+		ts:    ts,
+	}, nil
+}
+
+// URL returns the HTTP base URL.
+func (h *Harness) URL() string { return h.ts.URL }
+
+// Close shuts the HTTP server and the world down.
+func (h *Harness) Close() {
+	h.ts.Close()
+	h.World.Close()
+}

@@ -1,0 +1,84 @@
+package simulation
+
+import "testing"
+
+// Robustness: the headline qualitative results must hold across seeds,
+// not just at the default one. Kept small per seed; skipped in -short.
+
+func TestTrustWeightingWinsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed robustness sweep")
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := RunTrustWeighting(TrustWeightingConfig{
+			Seed: seed, Programs: 50, Users: 50,
+			ExpertFrac: 0.15, SlandererFrac: 0.25,
+			TrustWeeks: 6, VotesPerAgent: 18,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.WeightedRMSE >= res.UnweightedRMSE {
+			t.Errorf("seed %d: weighted %.3f >= unweighted %.3f",
+				seed, res.WeightedRMSE, res.UnweightedRMSE)
+		}
+	}
+}
+
+func TestEmailDedupCollapsesAttackAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed robustness sweep")
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := RunSybil(SybilConfig{
+			Seed: seed, HonestUsers: 30, HonestVotes: 20, SybilCount: 40, ExpertFrac: 0.2,
+			DefenceSweep: []SybilDefence{
+				{Name: "none"},
+				{Name: "shared", SharedMailbox: true},
+			},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		open := res.Rows[0].ScoreShift
+		closed := res.Rows[1].ScoreShift
+		if closed >= open/4 {
+			t.Errorf("seed %d: email dedup shift %.2f vs open %.2f", seed, closed, open)
+		}
+	}
+}
+
+func TestTable2InvariantAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		res := RunTable2(CatalogConfig{
+			Seed: seed, Total: 400, LegitFrac: 0.6, GreyFrac: 0.25,
+			DeceitfulFrac: 0.4, Vendors: 20,
+		})
+		if res.ToHigh+res.ToLow != res.MediumBefore {
+			t.Fatalf("seed %d: grey split inconsistent", seed)
+		}
+		for cell, n := range res.After {
+			if cell.Consent().String() == "medium" && n != 0 {
+				t.Fatalf("seed %d: medium consent survives", seed)
+			}
+		}
+	}
+}
+
+func TestPolymorphicEvasionAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed robustness sweep")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		res, err := RunPolymorphic(PolymorphicConfig{Seed: seed, Downloads: 80, Raters: 30})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.FileLevelCoverage != 0 {
+			t.Errorf("seed %d: file coverage %.2f", seed, res.FileLevelCoverage)
+		}
+		if res.VendorRatedPrograms == 0 {
+			t.Errorf("seed %d: vendor aggregation empty", seed)
+		}
+	}
+}

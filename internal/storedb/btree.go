@@ -1,0 +1,390 @@
+package storedb
+
+import "bytes"
+
+// The in-memory index is an immutable (copy-on-write) B+tree. Mutating
+// operations return a new tree sharing unchanged nodes with the old one,
+// which gives readers cheap, consistent snapshots while a single writer
+// advances the database: a committed transaction atomically publishes its
+// root and in-flight readers keep iterating over the root they started
+// with.
+//
+// Leaves hold key/value pairs; internal nodes hold router keys such that
+// every key under children[i] is < keys[i] and >= keys[i-1]. Router keys
+// do not need to exist in any leaf, only to separate subtrees, which keeps
+// deletion rebalancing local.
+
+const (
+	maxLeafItems = 32
+	minLeafItems = maxLeafItems / 2
+	maxChildren  = 32
+	minChildren  = maxChildren / 2
+)
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaves only; vals[i] belongs to keys[i]
+	children []*node  // internal only; len(children) == len(keys)+1
+}
+
+// tree is an immutable B+tree. The zero value is an empty tree.
+type tree struct {
+	root *node
+	size int
+}
+
+// fill returns the quantity the min/max constraints apply to: items for
+// leaves, children for internal nodes.
+func (n *node) fill() int {
+	if n.leaf {
+		return len(n.keys)
+	}
+	return len(n.children)
+}
+
+func (n *node) clone() *node {
+	c := &node{leaf: n.leaf}
+	c.keys = append([][]byte(nil), n.keys...)
+	if n.leaf {
+		c.vals = append([][]byte(nil), n.vals...)
+	} else {
+		c.children = append([]*node(nil), n.children...)
+	}
+	return c
+}
+
+// search returns the index of the first key in n.keys that is >= key,
+// and whether it is an exact match.
+func (n *node) search(key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	exact := lo < len(n.keys) && bytes.Equal(n.keys[lo], key)
+	return lo, exact
+}
+
+// childIndex returns the child to descend into when looking for key:
+// the first i such that key < keys[i], i.e. children[i].
+func (n *node) childIndex(key []byte) int {
+	i, exact := n.search(key)
+	if exact {
+		return i + 1 // routers separate: keys[i] <= subtree(children[i+1])
+	}
+	return i
+}
+
+func (t tree) Len() int { return t.size }
+
+// Get returns the value stored under key and whether it was present.
+// The returned slice must not be modified by the caller.
+func (t tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for n != nil {
+		if n.leaf {
+			i, exact := n.search(key)
+			if !exact {
+				return nil, false
+			}
+			return n.vals[i], true
+		}
+		n = n.children[n.childIndex(key)]
+	}
+	return nil, false
+}
+
+// Put returns a tree with key set to val. Key and val are stored as-is;
+// callers that retain their buffers must copy first.
+func (t tree) Put(key, val []byte) tree {
+	if t.root == nil {
+		return tree{
+			root: &node{leaf: true, keys: [][]byte{key}, vals: [][]byte{val}},
+			size: 1,
+		}
+	}
+	left, right, sep, added := t.root.put(key, val)
+	root := left
+	if right != nil {
+		root = &node{
+			keys:     [][]byte{sep},
+			children: []*node{left, right},
+		}
+	}
+	size := t.size
+	if added {
+		size++
+	}
+	return tree{root: root, size: size}
+}
+
+// put inserts into a copy of n. It returns the new node, plus a right
+// sibling and separator when the node split, and whether the key was new.
+func (n *node) put(key, val []byte) (left, right *node, sep []byte, added bool) {
+	c := n.clone()
+	if c.leaf {
+		i, exact := c.search(key)
+		if exact {
+			c.vals[i] = val
+			return c, nil, nil, false
+		}
+		c.keys = insertBytes(c.keys, i, key)
+		c.vals = insertBytes(c.vals, i, val)
+		added = true
+		if len(c.keys) > maxLeafItems {
+			mid := len(c.keys) / 2
+			r := &node{
+				leaf: true,
+				keys: append([][]byte(nil), c.keys[mid:]...),
+				vals: append([][]byte(nil), c.vals[mid:]...),
+			}
+			c.keys = c.keys[:mid:mid]
+			c.vals = c.vals[:mid:mid]
+			return c, r, r.keys[0], added
+		}
+		return c, nil, nil, added
+	}
+
+	i := c.childIndex(key)
+	nl, nr, nsep, add := c.children[i].put(key, val)
+	added = add
+	c.children[i] = nl
+	if nr != nil {
+		c.keys = insertBytes(c.keys, i, nsep)
+		c.children = insertNodes(c.children, i+1, nr)
+		if len(c.children) > maxChildren {
+			mid := len(c.keys) / 2
+			upSep := c.keys[mid]
+			r := &node{
+				keys:     append([][]byte(nil), c.keys[mid+1:]...),
+				children: append([]*node(nil), c.children[mid+1:]...),
+			}
+			c.keys = c.keys[:mid:mid]
+			c.children = c.children[: mid+1 : mid+1]
+			return c, r, upSep, added
+		}
+	}
+	return c, nil, nil, added
+}
+
+// Delete returns a tree without key, and whether the key was present.
+func (t tree) Delete(key []byte) (tree, bool) {
+	if t.root == nil {
+		return t, false
+	}
+	root, found := t.root.del(key)
+	if !found {
+		return t, false
+	}
+	// Collapse trivial roots.
+	for root != nil && !root.leaf && len(root.children) == 1 {
+		root = root.children[0]
+	}
+	if root != nil && root.leaf && len(root.keys) == 0 {
+		root = nil
+	}
+	return tree{root: root, size: t.size - 1}, true
+}
+
+// del removes key from a copy of n, rebalancing children that underflow.
+// The returned node may itself be under-full; the caller fixes that.
+func (n *node) del(key []byte) (*node, bool) {
+	if n.leaf {
+		i, exact := n.search(key)
+		if !exact {
+			return n, false
+		}
+		c := n.clone()
+		c.keys = removeBytes(c.keys, i)
+		c.vals = removeBytes(c.vals, i)
+		return c, true
+	}
+	i := n.childIndex(key)
+	child, found := n.children[i].del(key)
+	if !found {
+		return n, false
+	}
+	c := n.clone()
+	c.children[i] = child
+	c.fixChild(i)
+	return c, true
+}
+
+// fixChild rebalances children[i] of an (already cloned) internal node if
+// it underflows, by borrowing from or merging with an adjacent sibling.
+func (n *node) fixChild(i int) {
+	child := n.children[i]
+	minFill := minChildren
+	if child.leaf {
+		minFill = minLeafItems
+	}
+	if child.fill() >= minFill {
+		return
+	}
+	if i > 0 && n.children[i-1].fill() > minFill {
+		n.borrowLeft(i)
+		return
+	}
+	if i < len(n.children)-1 && n.children[i+1].fill() > minFill {
+		n.borrowRight(i)
+		return
+	}
+	if i > 0 {
+		n.merge(i - 1)
+	} else {
+		n.merge(i)
+	}
+}
+
+// borrowLeft moves the last item/subtree of children[i-1] into children[i].
+func (n *node) borrowLeft(i int) {
+	left := n.children[i-1].clone()
+	child := n.children[i].clone()
+	if child.leaf {
+		last := len(left.keys) - 1
+		child.keys = insertBytes(child.keys, 0, left.keys[last])
+		child.vals = insertBytes(child.vals, 0, left.vals[last])
+		left.keys = left.keys[:last:last]
+		left.vals = left.vals[:last:last]
+		n.keys[i-1] = child.keys[0]
+	} else {
+		lastK := len(left.keys) - 1
+		lastC := len(left.children) - 1
+		// Pull the parent separator down as the child's first router and
+		// push the left sibling's boundary router up.
+		child.keys = insertBytes(child.keys, 0, n.keys[i-1])
+		child.children = insertNodes(child.children, 0, left.children[lastC])
+		n.keys[i-1] = left.keys[lastK]
+		left.keys = left.keys[:lastK:lastK]
+		left.children = left.children[:lastC:lastC]
+	}
+	n.children[i-1] = left
+	n.children[i] = child
+}
+
+// borrowRight moves the first item/subtree of children[i+1] into children[i].
+func (n *node) borrowRight(i int) {
+	child := n.children[i].clone()
+	right := n.children[i+1].clone()
+	if child.leaf {
+		child.keys = append(child.keys, right.keys[0])
+		child.vals = append(child.vals, right.vals[0])
+		right.keys = removeBytes(right.keys, 0)
+		right.vals = removeBytes(right.vals, 0)
+		n.keys[i] = right.keys[0]
+	} else {
+		child.keys = append(child.keys, n.keys[i])
+		child.children = append(child.children, right.children[0])
+		n.keys[i] = right.keys[0]
+		right.keys = removeBytes(right.keys, 0)
+		right.children = removeNodes(right.children, 0)
+	}
+	n.children[i] = child
+	n.children[i+1] = right
+}
+
+// merge combines children[i] and children[i+1] into one node.
+func (n *node) merge(i int) {
+	left := n.children[i].clone()
+	right := n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = removeBytes(n.keys, i)
+	n.children = removeNodes(n.children, i+1)
+	n.children[i] = left
+}
+
+// Ascend calls fn for every key/value pair with lo <= key < hi, in key
+// order. A nil lo means from the start; a nil hi means to the end.
+// Iteration stops early when fn returns false.
+func (t tree) Ascend(lo, hi []byte, fn func(k, v []byte) bool) {
+	if t.root != nil {
+		t.root.ascend(lo, hi, fn)
+	}
+}
+
+func (n *node) ascend(lo, hi []byte, fn func(k, v []byte) bool) bool {
+	if n.leaf {
+		start := 0
+		if lo != nil {
+			start, _ = n.search(lo)
+		}
+		for i := start; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return false
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	start := 0
+	if lo != nil {
+		start = n.childIndex(lo)
+	}
+	for i := start; i < len(n.children); i++ {
+		// Prune subtrees entirely at or above hi.
+		if hi != nil && i > 0 && bytes.Compare(n.keys[i-1], hi) >= 0 {
+			return false
+		}
+		cLo := lo
+		if i > start {
+			cLo = nil // only the first visited child needs the lower bound
+		}
+		if !n.children[i].ascend(cLo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// depth returns the height of the tree (0 for empty); used in tests.
+func (t tree) depth() int {
+	d := 0
+	for n := t.root; n != nil; {
+		d++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}
+
+func insertBytes(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeBytes(s [][]byte, i int) [][]byte {
+	out := make([][]byte, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+func insertNodes(s []*node, i int, v *node) []*node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeNodes(s []*node, i int) []*node {
+	out := make([]*node, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}

@@ -1,0 +1,407 @@
+package storedb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%06d", i)) }
+
+func TestTreeEmpty(t *testing.T) {
+	var tr tree
+	if tr.Len() != 0 {
+		t.Fatalf("empty tree Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree reported a hit")
+	}
+	tr.Ascend(nil, nil, func(k, v []byte) bool {
+		t.Fatal("Ascend on empty tree visited a pair")
+		return false
+	})
+	if next, found := tr.Delete([]byte("x")); found || next.Len() != 0 {
+		t.Fatal("Delete on empty tree claimed success")
+	}
+}
+
+func TestTreePutGet(t *testing.T) {
+	var tr tree
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := tr.Get(key(i))
+		if !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get(%s) = %q, %v", key(i), got, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("Get reported a hit for a missing key")
+	}
+}
+
+func TestTreeOverwrite(t *testing.T) {
+	var tr tree
+	tr = tr.Put([]byte("k"), []byte("v1"))
+	tr = tr.Put([]byte("k"), []byte("v2"))
+	if tr.Len() != 1 {
+		t.Fatalf("Len after overwrite = %d, want 1", tr.Len())
+	}
+	got, _ := tr.Get([]byte("k"))
+	if string(got) != "v2" {
+		t.Fatalf("Get = %q, want v2", got)
+	}
+}
+
+func TestTreeImmutability(t *testing.T) {
+	var t0 tree
+	for i := 0; i < 200; i++ {
+		t0 = t0.Put(key(i), val(i))
+	}
+	t1 := t0.Put(key(500), val(500))
+	t2, found := t0.Delete(key(100))
+	if !found {
+		t.Fatal("Delete missed an existing key")
+	}
+
+	// The original snapshot is unaffected by either descendant.
+	if t0.Len() != 200 {
+		t.Fatalf("t0.Len = %d, want 200", t0.Len())
+	}
+	if _, ok := t0.Get(key(500)); ok {
+		t.Fatal("t0 sees key added to t1")
+	}
+	if _, ok := t0.Get(key(100)); !ok {
+		t.Fatal("t0 lost key deleted from t2")
+	}
+	if _, ok := t1.Get(key(500)); !ok {
+		t.Fatal("t1 lost its own insert")
+	}
+	if _, ok := t2.Get(key(100)); ok {
+		t.Fatal("t2 still sees its own delete")
+	}
+}
+
+func TestTreeOrderedIteration(t *testing.T) {
+	var tr tree
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, i := range perm {
+		tr = tr.Put(key(i), val(i))
+	}
+	var got [][]byte
+	tr.Ascend(nil, nil, func(k, v []byte) bool {
+		got = append(got, append([]byte(nil), k...))
+		return true
+	})
+	if len(got) != 500 {
+		t.Fatalf("visited %d keys, want 500", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1], got[i]) >= 0 {
+			t.Fatalf("iteration out of order at %d: %s >= %s", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestTreeRangeBounds(t *testing.T) {
+	var tr tree
+	for i := 0; i < 100; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	var visited []string
+	tr.Ascend(key(10), key(20), func(k, v []byte) bool {
+		visited = append(visited, string(k))
+		return true
+	})
+	if len(visited) != 10 {
+		t.Fatalf("range visited %d keys, want 10: %v", len(visited), visited)
+	}
+	if visited[0] != string(key(10)) || visited[9] != string(key(19)) {
+		t.Fatalf("range bounds wrong: first=%s last=%s", visited[0], visited[9])
+	}
+}
+
+func TestTreeAscendEarlyStop(t *testing.T) {
+	var tr tree
+	for i := 0; i < 100; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	count := 0
+	tr.Ascend(nil, nil, func(k, v []byte) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d, want 7", count)
+	}
+}
+
+func TestTreeDeleteAll(t *testing.T) {
+	var tr tree
+	const n = 777 // enough for several levels
+	for i := 0; i < n; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	if d := tr.depth(); d < 2 {
+		t.Fatalf("tree depth = %d, want >= 2 to exercise rebalancing", d)
+	}
+	// Delete in an order that exercises merges from both ends.
+	order := rand.New(rand.NewSource(2)).Perm(n)
+	for idx, i := range order {
+		var found bool
+		tr, found = tr.Delete(key(i))
+		if !found {
+			t.Fatalf("Delete(%s) missed", key(i))
+		}
+		if tr.Len() != n-idx-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), idx+1)
+		}
+	}
+	if tr.root != nil {
+		t.Fatal("root not nil after deleting everything")
+	}
+}
+
+func TestTreeDeleteMissing(t *testing.T) {
+	var tr tree
+	for i := 0; i < 50; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	next, found := tr.Delete([]byte("nope"))
+	if found {
+		t.Fatal("Delete of a missing key reported found")
+	}
+	if next.Len() != 50 {
+		t.Fatalf("Len changed on missing delete: %d", next.Len())
+	}
+}
+
+// checkInvariants walks the tree verifying structural invariants: key
+// order within nodes, router separation, fill constraints (except root)
+// and uniform leaf depth.
+func checkInvariants(t *testing.T, tr tree) {
+	t.Helper()
+	if tr.root == nil {
+		return
+	}
+	leafDepth := -1
+	var walk func(n *node, depth int, lo, hi []byte)
+	walk = func(n *node, depth int, lo, hi []byte) {
+		for i := 1; i < len(n.keys); i++ {
+			if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+				t.Fatalf("node keys out of order at depth %d", depth)
+			}
+		}
+		for _, k := range n.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				t.Fatalf("key below subtree bound at depth %d", depth)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				t.Fatalf("key above subtree bound at depth %d", depth)
+			}
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("leaves at different depths: %d and %d", leafDepth, depth)
+			}
+			if depth > 0 && len(n.keys) < minLeafItems {
+				t.Fatalf("non-root leaf underfull: %d items", len(n.keys))
+			}
+			if len(n.keys) > maxLeafItems {
+				t.Fatalf("leaf overfull: %d items", len(n.keys))
+			}
+			if len(n.vals) != len(n.keys) {
+				t.Fatal("leaf keys/vals length mismatch")
+			}
+			return
+		}
+		if len(n.children) != len(n.keys)+1 {
+			t.Fatalf("internal node has %d children for %d keys", len(n.children), len(n.keys))
+		}
+		if depth > 0 && len(n.children) < minChildren {
+			t.Fatalf("non-root internal underfull: %d children", len(n.children))
+		}
+		if len(n.children) > maxChildren {
+			t.Fatalf("internal overfull: %d children", len(n.children))
+		}
+		for i, c := range n.children {
+			cLo, cHi := lo, hi
+			if i > 0 {
+				cLo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				cHi = n.keys[i]
+			}
+			walk(c, depth+1, cLo, cHi)
+		}
+	}
+	walk(tr.root, 0, nil, nil)
+}
+
+// TestTreeModelCheck drives random operations against the tree and a map
+// model simultaneously, checking agreement and invariants throughout.
+func TestTreeModelCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tr tree
+	model := map[string]string{}
+
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		k := fmt.Sprintf("k%04d", rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1: // put twice as often as delete, so the tree grows
+			v := fmt.Sprintf("v%d", i)
+			tr = tr.Put([]byte(k), []byte(v))
+			model[k] = v
+		case 2:
+			var found bool
+			tr, found = tr.Delete([]byte(k))
+			_, inModel := model[k]
+			if found != inModel {
+				t.Fatalf("op %d: Delete(%s) found=%v, model=%v", i, k, found, inModel)
+			}
+			delete(model, k)
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("op %d: Len=%d model=%d", i, tr.Len(), len(model))
+		}
+		if i%997 == 0 {
+			checkInvariants(t, tr)
+		}
+	}
+	checkInvariants(t, tr)
+
+	// Final agreement: every model key present with the right value, and
+	// iteration yields exactly the sorted model.
+	keys := make([]string, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	tr.Ascend(nil, nil, func(k, v []byte) bool {
+		if string(k) != keys[i] {
+			t.Fatalf("iteration key %d = %s, want %s", i, k, keys[i])
+		}
+		if string(v) != model[keys[i]] {
+			t.Fatalf("iteration value for %s = %s, want %s", k, v, model[keys[i]])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("iterated %d keys, want %d", i, len(keys))
+	}
+}
+
+// TestTreeQuickGetAfterPut is a property test: for arbitrary key/value
+// pairs, Put then Get round-trips.
+func TestTreeQuickGetAfterPut(t *testing.T) {
+	f := func(pairs map[string]string) bool {
+		var tr tree
+		for k, v := range pairs {
+			if k == "" {
+				continue
+			}
+			tr = tr.Put([]byte(k), []byte(v))
+		}
+		for k, v := range pairs {
+			if k == "" {
+				continue
+			}
+			got, ok := tr.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTreeQuickDeleteRestores is a property test: inserting a set then
+// deleting a subset leaves exactly the complement.
+func TestTreeQuickDeleteRestores(t *testing.T) {
+	f := func(add map[string]string, del []string) bool {
+		var tr tree
+		for k, v := range add {
+			if k == "" {
+				continue
+			}
+			tr = tr.Put([]byte(k), []byte(v))
+		}
+		for _, k := range del {
+			tr, _ = tr.Delete([]byte(k))
+		}
+		deleted := map[string]bool{}
+		for _, k := range del {
+			deleted[k] = true
+		}
+		for k, v := range add {
+			if k == "" {
+				continue
+			}
+			got, ok := tr.Get([]byte(k))
+			if deleted[k] {
+				if ok {
+					return false
+				}
+			} else if !ok || string(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeSequentialAndReverseInsert(t *testing.T) {
+	for _, dir := range []string{"forward", "reverse"} {
+		var tr tree
+		const n = 2000
+		for i := 0; i < n; i++ {
+			j := i
+			if dir == "reverse" {
+				j = n - 1 - i
+			}
+			tr = tr.Put(key(j), val(j))
+		}
+		checkInvariants(t, tr)
+		if tr.Len() != n {
+			t.Fatalf("%s: Len = %d", dir, tr.Len())
+		}
+	}
+}
+
+func BenchmarkTreePut(b *testing.B) {
+	var tr tree
+	for i := 0; i < b.N; i++ {
+		tr = tr.Put(key(i%100000), val(i))
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	var tr tree
+	for i := 0; i < 100000; i++ {
+		tr = tr.Put(key(i), val(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % 100000))
+	}
+}

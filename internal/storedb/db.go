@@ -1,0 +1,356 @@
+// Package storedb implements the embedded, transactional key-value store
+// that backs the reputation server's database.
+//
+// The design is a single-writer, multi-reader store built from three
+// pieces:
+//
+//   - an immutable copy-on-write B+tree as the in-memory index, giving
+//     read transactions free snapshot isolation;
+//   - a write-ahead log of framed, checksummed batches for durability;
+//   - periodic snapshot files that allow the log to be truncated and
+//     bound recovery time.
+//
+// Write transactions (Update) serialise on a mutex, stage their changes
+// against a private copy-on-write root, append one WAL batch on commit
+// and then atomically publish the new root. Read transactions (View) pin
+// whatever root was current when they began and never block.
+//
+// Keys live in named buckets; a bucket is a key prefix managed by the
+// store so that independently-developed tables cannot collide.
+package storedb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the directory holding the snapshot and WAL files. It is
+	// created if missing. An empty Dir opens a purely in-memory store
+	// with no durability, which simulations and tests use.
+	Dir string
+
+	// SyncWrites makes every commit fsync the WAL before returning.
+	// When false the OS decides when log pages reach disk; a machine
+	// crash may lose the most recent commits but never corrupts the
+	// store.
+	SyncWrites bool
+
+	// CompactEvery triggers an automatic snapshot + log truncation after
+	// this many committed batches. Zero selects a default; negative
+	// disables automatic compaction.
+	CompactEvery int
+}
+
+const defaultCompactEvery = 4096
+
+// DB is an embedded key-value database. It is safe for concurrent use.
+type DB struct {
+	opts Options
+
+	current atomic.Pointer[tree] // committed root, swapped on commit
+
+	writeMu sync.Mutex // serialises Update transactions and compaction
+	wal     *walWriter
+	seq     uint64 // last committed batch sequence
+	pending int    // batches since last compaction
+
+	closed atomic.Bool
+}
+
+// Open opens or creates a database per the options. On disk, recovery
+// loads the newest snapshot and replays WAL batches with later sequence
+// numbers; a torn log tail is discarded.
+func Open(opts Options) (*DB, error) {
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = defaultCompactEvery
+	}
+	db := &DB{opts: opts}
+	t := tree{}
+
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o700); err != nil {
+			return nil, fmt.Errorf("storedb: create dir: %w", err)
+		}
+		snap, snapSeq, err := loadSnapshot(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		t = snap
+		db.seq = snapSeq
+		lastSeq, err := replayWal(db.walPath(), func(b walBatch) error {
+			if b.seq <= snapSeq {
+				return nil // already contained in the snapshot
+			}
+			for _, op := range b.ops {
+				switch op.op {
+				case opPut:
+					t = t.Put(op.key, op.val)
+				case opDelete:
+					t, _ = t.Delete(op.key)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if lastSeq > db.seq {
+			db.seq = lastSeq
+		}
+		w, err := openWalWriter(db.walPath(), opts.SyncWrites)
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+	}
+
+	db.current.Store(&t)
+	return db, nil
+}
+
+func (db *DB) walPath() string { return filepath.Join(db.opts.Dir, "WAL") }
+
+// Close flushes nothing (commits are already logged) and releases the
+// WAL file. Further use of the database returns ErrClosed.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.wal != nil {
+		return db.wal.close()
+	}
+	return nil
+}
+
+// Len returns the number of keys currently committed, across all buckets.
+func (db *DB) Len() int { return db.current.Load().Len() }
+
+// View runs fn in a read-only transaction over a consistent snapshot.
+func (db *DB) View(fn func(tx *Tx) error) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	tx := &Tx{db: db, tree: *db.current.Load()}
+	defer func() { tx.done = true }()
+	return fn(tx)
+}
+
+// Update runs fn in a read-write transaction. If fn returns nil the
+// transaction commits: its batch is appended to the WAL and the new root
+// is published atomically. If fn returns an error, nothing is changed.
+func (db *DB) Update(fn func(tx *Tx) error) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+
+	tx := &Tx{db: db, tree: *db.current.Load(), writable: true}
+	if err := fn(tx); err != nil {
+		tx.done = true
+		return err
+	}
+	tx.done = true
+	if len(tx.ops) == 0 {
+		return nil // read-only use of an Update tx; nothing to commit
+	}
+
+	db.seq++
+	if db.wal != nil {
+		batch := walBatch{seq: db.seq, ops: tx.ops}
+		if err := db.wal.append(&batch); err != nil {
+			db.seq--
+			return err
+		}
+	}
+	newTree := tx.tree
+	db.current.Store(&newTree)
+
+	db.pending++
+	if db.wal != nil && db.opts.CompactEvery > 0 && db.pending >= db.opts.CompactEvery {
+		if err := db.compactLocked(); err != nil {
+			return fmt.Errorf("storedb: auto-compaction: %w", err)
+		}
+	}
+	return nil
+}
+
+// Compact writes a snapshot of the current state and truncates the WAL.
+func (db *DB) Compact() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	return db.compactLocked()
+}
+
+func (db *DB) compactLocked() error {
+	if db.opts.Dir == "" {
+		return nil // in-memory store: nothing to compact
+	}
+	if err := writeSnapshot(db.opts.Dir, *db.current.Load(), db.seq); err != nil {
+		return err
+	}
+	// The snapshot now covers every committed batch; start a fresh log.
+	if err := db.wal.close(); err != nil {
+		return fmt.Errorf("storedb: close wal before truncate: %w", err)
+	}
+	if err := os.Remove(db.walPath()); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storedb: remove wal: %w", err)
+	}
+	w, err := openWalWriter(db.walPath(), db.opts.SyncWrites)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.pending = 0
+	return nil
+}
+
+// Tx is a transaction. Read transactions may be used concurrently by the
+// goroutine family that received them; write transactions must stay on
+// one goroutine.
+type Tx struct {
+	db       *DB
+	tree     tree
+	writable bool
+	done     bool
+	ops      []walOp
+}
+
+// Bucket returns a handle to the named bucket. Buckets spring into being
+// on first write; reading a never-written bucket simply finds no keys.
+func (tx *Tx) Bucket(name string) (*Bucket, error) {
+	if name == "" || strings.ContainsRune(name, 0) {
+		return nil, ErrBucketName
+	}
+	prefix := make([]byte, 0, len(name)+1)
+	prefix = append(prefix, name...)
+	prefix = append(prefix, 0)
+	return &Bucket{tx: tx, prefix: prefix}, nil
+}
+
+// MustBucket is Bucket for compile-time-constant names; it panics on an
+// invalid name instead of returning an error.
+func (tx *Tx) MustBucket(name string) *Bucket {
+	b, err := tx.Bucket(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Bucket is a named key namespace within a transaction.
+type Bucket struct {
+	tx     *Tx
+	prefix []byte
+}
+
+func (b *Bucket) wrap(key []byte) []byte {
+	k := make([]byte, 0, len(b.prefix)+len(key))
+	k = append(k, b.prefix...)
+	return append(k, key...)
+}
+
+// Get returns the value for key, or nil and false if absent. The returned
+// slice is shared with the store and must not be modified.
+func (b *Bucket) Get(key []byte) ([]byte, bool) {
+	if b.tx.done {
+		return nil, false
+	}
+	return b.tx.tree.Get(b.wrap(key))
+}
+
+// Put stores val under key. Both slices are copied.
+func (b *Bucket) Put(key, val []byte) error {
+	if b.tx.done {
+		return ErrTxClosed
+	}
+	if !b.tx.writable {
+		return ErrReadOnly
+	}
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	k := b.wrap(key)
+	v := append([]byte(nil), val...)
+	b.tx.tree = b.tx.tree.Put(k, v)
+	b.tx.ops = append(b.tx.ops, walOp{op: opPut, key: k, val: v})
+	return nil
+}
+
+// Delete removes key if present. Deleting an absent key is not an error.
+func (b *Bucket) Delete(key []byte) error {
+	if b.tx.done {
+		return ErrTxClosed
+	}
+	if !b.tx.writable {
+		return ErrReadOnly
+	}
+	k := b.wrap(key)
+	next, found := b.tx.tree.Delete(k)
+	if !found {
+		return nil
+	}
+	b.tx.tree = next
+	b.tx.ops = append(b.tx.ops, walOp{op: opDelete, key: k})
+	return nil
+}
+
+// ForEach visits every key/value pair in the bucket in key order,
+// stopping early if fn returns false.
+func (b *Bucket) ForEach(fn func(k, v []byte) bool) {
+	b.Range(nil, nil, fn)
+}
+
+// Range visits pairs with lo <= key < hi (nil bounds are open) in key
+// order, stopping early if fn returns false. The key passed to fn has the
+// bucket prefix stripped and is only valid during the call.
+func (b *Bucket) Range(lo, hi []byte, fn func(k, v []byte) bool) {
+	if b.tx.done {
+		return
+	}
+	from := b.wrap(lo)
+	var to []byte
+	if hi != nil {
+		to = b.wrap(hi)
+	} else {
+		to = PrefixEnd(b.prefix)
+	}
+	b.tx.tree.Ascend(from, to, func(k, v []byte) bool {
+		return fn(k[len(b.prefix):], v)
+	})
+}
+
+// RangePrefix visits pairs whose key starts with prefix.
+func (b *Bucket) RangePrefix(prefix []byte, fn func(k, v []byte) bool) {
+	hi := PrefixEnd(b.wrap(prefix))
+	if hi != nil {
+		hi = hi[len(b.prefix):]
+	}
+	b.Range(prefix, hi, fn)
+}
+
+// Count returns the number of keys in the bucket with the given prefix
+// (pass nil to count the whole bucket).
+func (b *Bucket) Count(prefix []byte) int {
+	var n int
+	if prefix == nil {
+		b.ForEach(func(_, _ []byte) bool { n++; return true })
+	} else {
+		b.RangePrefix(prefix, func(_, _ []byte) bool { n++; return true })
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+package storedb
+
+import "errors"
+
+var (
+	// ErrClosed is returned by operations on a closed database.
+	ErrClosed = errors.New("storedb: database is closed")
+
+	// ErrTxClosed is returned when a transaction is used after it ended.
+	ErrTxClosed = errors.New("storedb: transaction has ended")
+
+	// ErrReadOnly is returned when a write is attempted in a View
+	// transaction.
+	ErrReadOnly = errors.New("storedb: write in read-only transaction")
+
+	// ErrCorrupt is returned when a snapshot or WAL file fails its
+	// integrity checks beyond the recoverable tail of the log.
+	ErrCorrupt = errors.New("storedb: corrupt database file")
+
+	// ErrBucketName is returned for invalid bucket names. Names must be
+	// non-empty and must not contain the NUL byte, which terminates the
+	// bucket prefix in the key space.
+	ErrBucketName = errors.New("storedb: invalid bucket name")
+
+	// ErrEmptyKey is returned when an empty key is written.
+	ErrEmptyKey = errors.New("storedb: empty key")
+)

@@ -1,0 +1,200 @@
+package storedb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot files hold a full, sorted dump of the tree so that the WAL can
+// be truncated during compaction. Layout:
+//
+//	[8 bytes magic "SREPSNAP"][4 bytes version][8 bytes sequence number]
+//	[8 bytes entry count]
+//	entries: [uvarint key len][key][uvarint value len][value] ...
+//	[4 bytes CRC-32 of everything between magic and trailer]
+//
+// A snapshot is written to a temporary file, synced, and renamed into
+// place, so a crash mid-write leaves the previous snapshot intact.
+
+var snapshotMagic = [8]byte{'S', 'R', 'E', 'P', 'S', 'N', 'A', 'P'}
+
+const snapshotVersion = 1
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func writeSnapshot(dir string, t tree, seq uint64) (err error) {
+	tmp := filepath.Join(dir, "SNAPSHOT.tmp")
+	final := filepath.Join(dir, "SNAPSHOT")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("storedb: create snapshot: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err = bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	var hdr [20]byte
+	binary.BigEndian.PutUint32(hdr[0:4], snapshotVersion)
+	binary.BigEndian.PutUint64(hdr[4:12], seq)
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(t.Len()))
+	if _, err = cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var varbuf [binary.MaxVarintLen64]byte
+	werr := error(nil)
+	t.Ascend(nil, nil, func(k, v []byte) bool {
+		n := binary.PutUvarint(varbuf[:], uint64(len(k)))
+		if _, werr = cw.Write(varbuf[:n]); werr != nil {
+			return false
+		}
+		if _, werr = cw.Write(k); werr != nil {
+			return false
+		}
+		n = binary.PutUvarint(varbuf[:], uint64(len(v)))
+		if _, werr = cw.Write(varbuf[:n]); werr != nil {
+			return false
+		}
+		_, werr = cw.Write(v)
+		return werr == nil
+	})
+	if werr != nil {
+		return fmt.Errorf("storedb: write snapshot: %w", werr)
+	}
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err = bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("storedb: flush snapshot: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("storedb: sync snapshot: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("storedb: close snapshot: %w", err)
+	}
+	if err = os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("storedb: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// loadSnapshot reads the snapshot in dir, if present. The file's CRC is
+// verified before any entry is trusted. It returns the restored tree and
+// its sequence number; a missing snapshot yields an empty tree and seq 0.
+func loadSnapshot(dir string) (tree, uint64, error) {
+	path := filepath.Join(dir, "SNAPSHOT")
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return tree{}, 0, nil
+	}
+	if err := verifySnapshotCRC(path); err != nil {
+		return tree{}, 0, err
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return tree{}, 0, fmt.Errorf("storedb: open snapshot: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != snapshotMagic {
+		return tree{}, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	var hdr [20]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return tree{}, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint32(hdr[0:4]); v != snapshotVersion {
+		return tree{}, 0, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
+	}
+	seq := binary.BigEndian.Uint64(hdr[4:12])
+	count := binary.BigEndian.Uint64(hdr[12:20])
+
+	var t tree
+	for i := uint64(0); i < count; i++ {
+		key, err := readLenPrefixed(br)
+		if err != nil {
+			return tree{}, 0, fmt.Errorf("%w: snapshot entry %d key: %v", ErrCorrupt, i, err)
+		}
+		val, err := readLenPrefixed(br)
+		if err != nil {
+			return tree{}, 0, fmt.Errorf("%w: snapshot entry %d value: %v", ErrCorrupt, i, err)
+		}
+		t = t.Put(key, val)
+	}
+	return t, seq, nil
+}
+
+// verifySnapshotCRC checks the trailer CRC over the checksummed region
+// (everything between magic and trailer).
+func verifySnapshotCRC(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("storedb: open snapshot for crc: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("storedb: stat snapshot: %w", err)
+	}
+	size := info.Size()
+	if size < int64(len(snapshotMagic))+4 {
+		return fmt.Errorf("%w: snapshot too small", ErrCorrupt)
+	}
+	if _, err := f.Seek(int64(len(snapshotMagic)), io.SeekStart); err != nil {
+		return err
+	}
+	body := size - int64(len(snapshotMagic)) - 4
+	h := crc32.NewIEEE()
+	if _, err := io.CopyN(h, f, body); err != nil {
+		return fmt.Errorf("%w: snapshot body: %v", ErrCorrupt, err)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(f, trailer[:]); err != nil {
+		return fmt.Errorf("%w: snapshot trailer: %v", ErrCorrupt, err)
+	}
+	if binary.BigEndian.Uint32(trailer[:]) != h.Sum32() {
+		return fmt.Errorf("%w: snapshot crc mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
+func readLenPrefixed(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRecordSize {
+		return nil, fmt.Errorf("length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

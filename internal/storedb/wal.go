@@ -1,0 +1,209 @@
+package storedb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log. Each committed transaction appends one framed record:
+//
+//	[4 bytes payload length][4 bytes CRC-32 (IEEE) of payload][payload]
+//
+// The payload is a batch:
+//
+//	[8 bytes sequence number][uvarint op count] then per op:
+//	[1 byte op (1=put, 2=delete)][uvarint key len][key]
+//	and for puts [uvarint value len][value]
+//
+// Recovery replays records in order. A record with a bad length or CRC is
+// treated as a torn tail: everything before it is kept, the file is
+// truncated at its start, and recovery succeeds. Corruption that is *not*
+// at the tail cannot be distinguished from a torn tail by the reader, so
+// the same policy applies; the snapshot sequence number guards against
+// replaying stale batches after compaction.
+
+const (
+	opPut    byte = 1
+	opDelete byte = 2
+
+	walHeaderSize = 8 // length + crc
+	maxRecordSize = 1 << 30
+)
+
+type walOp struct {
+	op  byte
+	key []byte
+	val []byte
+}
+
+type walBatch struct {
+	seq uint64
+	ops []walOp
+}
+
+func (b *walBatch) encode() []byte {
+	size := 8 + binary.MaxVarintLen64
+	for _, op := range b.ops {
+		size += 1 + 2*binary.MaxVarintLen64 + len(op.key) + len(op.val)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint64(buf, b.seq)
+	buf = binary.AppendUvarint(buf, uint64(len(b.ops)))
+	for _, op := range b.ops {
+		buf = append(buf, op.op)
+		buf = binary.AppendUvarint(buf, uint64(len(op.key)))
+		buf = append(buf, op.key...)
+		if op.op == opPut {
+			buf = binary.AppendUvarint(buf, uint64(len(op.val)))
+			buf = append(buf, op.val...)
+		}
+	}
+	return buf
+}
+
+func decodeWalBatch(payload []byte) (walBatch, error) {
+	var b walBatch
+	if len(payload) < 8 {
+		return b, fmt.Errorf("%w: short batch header", ErrCorrupt)
+	}
+	b.seq = binary.BigEndian.Uint64(payload)
+	payload = payload[8:]
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return b, fmt.Errorf("%w: bad op count", ErrCorrupt)
+	}
+	payload = payload[n:]
+	b.ops = make([]walOp, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(payload) < 1 {
+			return b, fmt.Errorf("%w: truncated op", ErrCorrupt)
+		}
+		op := payload[0]
+		payload = payload[1:]
+		if op != opPut && op != opDelete {
+			return b, fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
+		}
+		klen, n := binary.Uvarint(payload)
+		if n <= 0 || uint64(len(payload)-n) < klen {
+			return b, fmt.Errorf("%w: bad key length", ErrCorrupt)
+		}
+		payload = payload[n:]
+		key := payload[:klen:klen]
+		payload = payload[klen:]
+		var val []byte
+		if op == opPut {
+			vlen, n := binary.Uvarint(payload)
+			if n <= 0 || uint64(len(payload)-n) < vlen {
+				return b, fmt.Errorf("%w: bad value length", ErrCorrupt)
+			}
+			payload = payload[n:]
+			val = payload[:vlen:vlen]
+			payload = payload[vlen:]
+		}
+		b.ops = append(b.ops, walOp{op: op, key: key, val: val})
+	}
+	if len(payload) != 0 {
+		return b, fmt.Errorf("%w: trailing bytes in batch", ErrCorrupt)
+	}
+	return b, nil
+}
+
+// walWriter appends framed batches to the log file.
+type walWriter struct {
+	f    *os.File
+	sync bool
+}
+
+func openWalWriter(path string, sync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("storedb: open wal: %w", err)
+	}
+	return &walWriter{f: f, sync: sync}, nil
+}
+
+func (w *walWriter) append(b *walBatch) error {
+	payload := b.encode()
+	var hdr [walHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storedb: wal write: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("storedb: wal write: %w", err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("storedb: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// replayWal reads batches from the log at path, calling apply for each
+// batch in order. A torn or corrupt tail is truncated away. It returns
+// the highest sequence number seen.
+func replayWal(path string, apply func(walBatch) error) (lastSeq uint64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storedb: open wal for replay: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 1<<16)
+	var offset int64
+	for {
+		var hdr [walHeaderSize]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			// Clean EOF or a torn header: keep everything before it.
+			break
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxRecordSize {
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break
+		}
+		batch, derr := decodeWalBatch(payload)
+		if derr != nil {
+			break
+		}
+		if err := apply(batch); err != nil {
+			return lastSeq, err
+		}
+		lastSeq = batch.seq
+		offset += walHeaderSize + int64(length)
+	}
+
+	// Truncate any torn tail so future appends start at a clean frame.
+	if info, serr := f.Stat(); serr == nil && info.Size() > offset {
+		if terr := os.Truncate(path, offset); terr != nil {
+			return lastSeq, fmt.Errorf("storedb: truncate torn wal tail: %w", terr)
+		}
+	}
+	return lastSeq, nil
+}

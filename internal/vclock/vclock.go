@@ -1,0 +1,94 @@
+// Package vclock provides a virtual clock abstraction so that server jobs,
+// client throttles and simulations share one notion of time.
+//
+// Production code uses Real, which delegates to the system clock.
+// Simulations and tests use Virtual, which only advances when told to,
+// making every time-dependent mechanism in the system (24-hour aggregation
+// periods, weekly trust-growth caps, weekly prompt budgets) deterministic.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the system.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+}
+
+// Real is a Clock backed by the operating system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Virtual is a manually advanced Clock. The zero value is not usable;
+// construct it with NewVirtual. Virtual is safe for concurrent use.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual returns a Virtual clock starting at the given instant.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Epoch is the conventional start instant for simulations: an arbitrary,
+// fixed Monday at midnight UTC, so that week boundaries are predictable.
+var Epoch = time.Date(2007, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d and returns the new instant.
+// Negative durations are ignored: a virtual clock never moves backwards.
+func (v *Virtual) Advance(d time.Duration) time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d > 0 {
+		v.now = v.now.Add(d)
+	}
+	return v.now
+}
+
+// Set jumps the clock to t if t is not before the current instant.
+// It returns the resulting instant.
+func (v *Virtual) Set(t time.Time) time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.After(v.now) {
+		v.now = t
+	}
+	return v.now
+}
+
+// Day is a convenience constant: one simulated day.
+const Day = 24 * time.Hour
+
+// Week is a convenience constant: one simulated week.
+const Week = 7 * Day
+
+// WeekIndex returns the number of whole weeks elapsed between start and t.
+// It is the unit used by the trust-factor growth cap and the rating-prompt
+// budget, both of which the paper defines per week.
+func WeekIndex(start, t time.Time) int {
+	if t.Before(start) {
+		return 0
+	}
+	return int(t.Sub(start) / Week)
+}
+
+// DayIndex returns the number of whole days elapsed between start and t.
+func DayIndex(start, t time.Time) int {
+	if t.Before(start) {
+		return 0
+	}
+	return int(t.Sub(start) / Day)
+}

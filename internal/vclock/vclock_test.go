@@ -1,0 +1,76 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now().Add(-time.Second)
+	if got := c.Now(); got.Before(before) {
+		t.Fatalf("Real.Now() = %v is in the past", got)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(Epoch)
+	if !v.Now().Equal(Epoch) {
+		t.Fatal("virtual clock must start at its start instant")
+	}
+	v.Advance(3 * time.Hour)
+	if got := v.Now(); !got.Equal(Epoch.Add(3 * time.Hour)) {
+		t.Fatalf("after Advance: %v", got)
+	}
+	// Negative advances are ignored.
+	v.Advance(-time.Hour)
+	if got := v.Now(); !got.Equal(Epoch.Add(3 * time.Hour)) {
+		t.Fatalf("negative advance moved the clock: %v", got)
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	v := NewVirtual(Epoch)
+	target := Epoch.Add(48 * time.Hour)
+	v.Set(target)
+	if !v.Now().Equal(target) {
+		t.Fatal("Set forward failed")
+	}
+	v.Set(Epoch) // backwards: ignored
+	if !v.Now().Equal(target) {
+		t.Fatal("Set moved the clock backwards")
+	}
+}
+
+func TestVirtualConcurrent(t *testing.T) {
+	v := NewVirtual(Epoch)
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				v.Advance(time.Millisecond)
+				v.Now()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	want := Epoch.Add(8 * 1000 * time.Millisecond)
+	if !v.Now().Equal(want) {
+		t.Fatalf("concurrent advance lost updates: %v, want %v", v.Now(), want)
+	}
+}
+
+func TestIndices(t *testing.T) {
+	if DayIndex(Epoch, Epoch.Add(25*time.Hour)) != 1 {
+		t.Fatal("DayIndex wrong")
+	}
+	if DayIndex(Epoch, Epoch.Add(-time.Hour)) != 0 {
+		t.Fatal("DayIndex must clamp negatives")
+	}
+	if WeekIndex(Epoch, Epoch.Add(15*Day)) != 2 {
+		t.Fatal("WeekIndex wrong")
+	}
+}

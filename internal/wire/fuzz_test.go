@@ -1,0 +1,33 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeLookupRequest hardens the XML decode path that faces
+// anonymous, unauthenticated input: it must never panic, whatever
+// arrives on the socket.
+func FuzzDecodeLookupRequest(f *testing.F) {
+	var seed strings.Builder
+	if err := Encode(&seed, LookupRequest{
+		Software: SoftwareInfo{ID: "abcd", FileName: "x.exe", FileSize: 12},
+		Feeds:    []string{"lab"},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("<lookup><software><id>zz</id></software></lookup>")
+	f.Add("not xml at all")
+	f.Add("<lookup>")
+	f.Add(`<?xml version="1.0"?><lookup><software><file-size>NaN</file-size></software></lookup>`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		var req LookupRequest
+		_ = Decode(strings.NewReader(body), &req) // must not panic
+		var vote VoteRequest
+		_ = Decode(strings.NewReader(body), &vote)
+		var reg RegisterRequest
+		_ = Decode(strings.NewReader(body), &reg)
+	})
+}

@@ -1,0 +1,259 @@
+// Package wire defines the XML protocol spoken between the reputation
+// client and server: "XML is used as the communication protocol between
+// the client and the server" (§3.2). Each operation is an HTTP POST (or
+// GET for read-only calls) of one XML document to a fixed path; errors
+// come back as an <error> document with a machine-readable code and a
+// non-2xx status.
+package wire
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ContentType is the media type of every request and response body.
+const ContentType = "application/xml; charset=utf-8"
+
+// API paths, one per operation.
+const (
+	PathChallenge = "/api/challenge"
+	PathRegister  = "/api/register"
+	PathActivate  = "/api/activate"
+	PathLogin     = "/api/login"
+	PathLookup    = "/api/lookup"
+	PathVote      = "/api/vote"
+	PathRemark    = "/api/remark"
+	PathVendor    = "/api/vendor"
+	PathStats     = "/api/stats"
+)
+
+// TimeFormat is how instants are serialised on the wire.
+const TimeFormat = time.RFC3339
+
+// Error codes carried in ErrorResponse.
+const (
+	CodeBadRequest    = "bad-request"
+	CodeUserExists    = "user-exists"
+	CodeEmailTaken    = "email-taken"
+	CodeCaptchaFailed = "captcha-failed"
+	CodePuzzleFailed  = "puzzle-failed"
+	CodeBadCreds      = "bad-credentials"
+	CodeNotActivated  = "not-activated"
+	CodeBadSession    = "bad-session"
+	CodeAlreadyRated  = "already-rated"
+	CodeAlreadyMarked = "already-remarked"
+	CodeSelfRemark    = "self-remark"
+	CodeNotFound      = "not-found"
+	CodeRateLimited   = "rate-limited"
+	CodeInternal      = "internal"
+)
+
+// ErrorResponse is the error document returned with non-2xx statuses.
+type ErrorResponse struct {
+	XMLName xml.Name `xml:"error"`
+	Code    string   `xml:"code,attr"`
+	Message string   `xml:",chardata"`
+}
+
+// Error implements the error interface so decoded wire errors propagate
+// naturally through client code.
+func (e *ErrorResponse) Error() string {
+	return fmt.Sprintf("server error %s: %s", e.Code, e.Message)
+}
+
+// ChallengeResponse carries the anti-automation material a client must
+// solve before registering: a CAPTCHA nonce (human cost) and a client
+// puzzle (computational cost, §5 future work).
+type ChallengeResponse struct {
+	XMLName          xml.Name `xml:"challenge"`
+	CaptchaNonce     string   `xml:"captcha-nonce"`
+	PuzzleNonce      string   `xml:"puzzle-nonce"`
+	PuzzleDifficulty int      `xml:"puzzle-difficulty"`
+}
+
+// RegisterRequest creates an account. The e-mail address travels to the
+// server once, is hashed with the secret string, and is never stored in
+// clear (§2.2).
+type RegisterRequest struct {
+	XMLName         xml.Name `xml:"register"`
+	Username        string   `xml:"username"`
+	Password        string   `xml:"password"`
+	Email           string   `xml:"email"`
+	CaptchaNonce    string   `xml:"captcha-nonce"`
+	CaptchaSolution string   `xml:"captcha-solution"`
+	PuzzleNonce     string   `xml:"puzzle-nonce"`
+	PuzzleSolution  uint64   `xml:"puzzle-solution"`
+}
+
+// RegisterResponse acknowledges the signup; the activation token is
+// delivered out of band to the given e-mail address.
+type RegisterResponse struct {
+	XMLName  xml.Name `xml:"registered"`
+	Username string   `xml:"username"`
+}
+
+// ActivateRequest completes the e-mail round trip with the token from
+// the activation message.
+type ActivateRequest struct {
+	XMLName xml.Name `xml:"activate"`
+	Token   string   `xml:"token"`
+}
+
+// ActivateResponse confirms which account was activated.
+type ActivateResponse struct {
+	XMLName  xml.Name `xml:"activated"`
+	Username string   `xml:"username"`
+}
+
+// LoginRequest authenticates a user and opens a session.
+type LoginRequest struct {
+	XMLName  xml.Name `xml:"login"`
+	Username string   `xml:"username"`
+	Password string   `xml:"password"`
+}
+
+// LoginResponse returns the bearer session token.
+type LoginResponse struct {
+	XMLName xml.Name `xml:"session"`
+	Token   string   `xml:"token"`
+}
+
+// SoftwareInfo is the §3.3 metadata block sent with lookups and votes.
+type SoftwareInfo struct {
+	ID       string `xml:"id"`
+	FileName string `xml:"file-name"`
+	FileSize int64  `xml:"file-size"`
+	Vendor   string `xml:"vendor,omitempty"`
+	Version  string `xml:"version,omitempty"`
+}
+
+// LookupRequest asks the server what it knows about an executable that
+// is about to run. Lookups carry no session: they work anonymously so
+// that routing them through an anonymity network actually hides who
+// runs what (§2.2).
+type LookupRequest struct {
+	XMLName  xml.Name     `xml:"lookup"`
+	Software SoftwareInfo `xml:"software"`
+	// Feeds names the expert feeds the client subscribes to (§4.2);
+	// the server attaches their advice about this executable.
+	Feeds []string `xml:"feeds>feed,omitempty"`
+}
+
+// CommentInfo is one user comment as shown to clients. AuthorTrust is
+// the comment author's current trust factor, so clients can make "the
+// votes and comments of well-known, reliable users more visible" (§2.1).
+type CommentInfo struct {
+	ID          uint64  `xml:"id,attr"`
+	User        string  `xml:"user"`
+	Text        string  `xml:"text"`
+	Positive    int     `xml:"positive"`
+	Negative    int     `xml:"negative"`
+	At          string  `xml:"at"`
+	AuthorTrust float64 `xml:"author-trust"`
+}
+
+// AdviceInfo is one subscribed expert feed's judgement of the
+// executable (§4.2).
+type AdviceInfo struct {
+	Feed      string  `xml:"feed,attr"`
+	Score     float64 `xml:"score"`
+	Behaviors string  `xml:"behaviors"`
+	Note      string  `xml:"note"`
+}
+
+// LookupResponse is everything the client shows the user at the
+// execution prompt: the aggregated score, vote count, behaviour
+// profile, the vendor's derived rating, the comments, and advice from
+// any subscribed expert feeds.
+type LookupResponse struct {
+	XMLName     xml.Name      `xml:"software-report"`
+	Known       bool          `xml:"known"`
+	ID          string        `xml:"id"`
+	Score       float64       `xml:"score"`
+	Votes       int           `xml:"votes"`
+	Behaviors   string        `xml:"behaviors"`
+	Vendor      string        `xml:"vendor,omitempty"`
+	VendorScore float64       `xml:"vendor-score"`
+	VendorCount int           `xml:"vendor-count"`
+	Comments    []CommentInfo `xml:"comments>comment"`
+	Advice      []AdviceInfo  `xml:"advice>entry,omitempty"`
+}
+
+// VoteRequest casts the session user's single vote on an executable,
+// optionally with a comment and observed behaviours.
+type VoteRequest struct {
+	XMLName   xml.Name     `xml:"vote"`
+	Session   string       `xml:"session"`
+	Software  SoftwareInfo `xml:"software"`
+	Score     int          `xml:"score"`
+	Behaviors string       `xml:"behaviors,omitempty"`
+	Comment   string       `xml:"comment,omitempty"`
+}
+
+// VoteResponse acknowledges the vote; CommentID is non-zero when a
+// comment was attached.
+type VoteResponse struct {
+	XMLName   xml.Name `xml:"voted"`
+	CommentID uint64   `xml:"comment-id"`
+}
+
+// RemarkRequest judges another user's comment (§3.2).
+type RemarkRequest struct {
+	XMLName   xml.Name `xml:"remark"`
+	Session   string   `xml:"session"`
+	CommentID uint64   `xml:"comment-id"`
+	Positive  bool     `xml:"positive"`
+}
+
+// RemarkResponse acknowledges the remark.
+type RemarkResponse struct {
+	XMLName xml.Name `xml:"remarked"`
+}
+
+// VendorRequest asks for a vendor's derived rating (§3.3).
+type VendorRequest struct {
+	XMLName xml.Name `xml:"vendor-lookup"`
+	Vendor  string   `xml:"vendor"`
+}
+
+// VendorResponse carries the vendor's derived rating.
+type VendorResponse struct {
+	XMLName       xml.Name `xml:"vendor-report"`
+	Vendor        string   `xml:"vendor"`
+	Known         bool     `xml:"known"`
+	Score         float64  `xml:"score"`
+	SoftwareCount int      `xml:"software-count"`
+}
+
+// StatsResponse summarises the database for the web view.
+type StatsResponse struct {
+	XMLName  xml.Name `xml:"stats"`
+	Users    int      `xml:"users"`
+	Software int      `xml:"software"`
+	Ratings  int      `xml:"ratings"`
+	Comments int      `xml:"comments"`
+	Remarks  int      `xml:"remarks"`
+}
+
+// Encode writes v as an XML document with the standard header.
+func Encode(w io.Writer, v interface{}) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads one XML document from r into v.
+func Decode(r io.Reader, v interface{}) error {
+	if err := xml.NewDecoder(r).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// failingWriter errors after n bytes, to exercise Encode error paths.
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), errors.New("disk full")
+}
+
+func TestEncodeWriterErrors(t *testing.T) {
+	if err := Encode(&failingWriter{n: 0}, LoginRequest{}); err == nil {
+		t.Fatal("header write error swallowed")
+	}
+	if err := Encode(&failingWriter{n: len("<?xml")}, LoginRequest{Username: "u"}); err == nil {
+		t.Fatal("body write error swallowed")
+	}
+}
+
+func TestAdviceRoundTrip(t *testing.T) {
+	in := LookupResponse{
+		Known: true,
+		Advice: []AdviceInfo{
+			{Feed: "lab", Score: 2.5, Behaviors: "displays-ads", Note: "3 runs"},
+			{Feed: "cert", Score: 8, Behaviors: "none", Note: ""},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out LookupResponse
+	if err := Decode(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Advice) != 2 || out.Advice[0].Feed != "lab" || out.Advice[0].Score != 2.5 {
+		t.Fatalf("advice round trip = %+v", out.Advice)
+	}
+}
+
+func TestFeedsRoundTrip(t *testing.T) {
+	in := LookupRequest{
+		Software: SoftwareInfo{ID: "aa"},
+		Feeds:    []string{"one", "two"},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out LookupRequest
+	if err := Decode(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Feeds) != 2 || out.Feeds[1] != "two" {
+		t.Fatalf("feeds round trip = %v", out.Feeds)
+	}
+	// No feeds: no <feed> entries are serialised (encoding/xml keeps
+	// the empty <feeds> parent for nested paths; decoders see nil).
+	buf.Reset()
+	if err := Encode(&buf, LookupRequest{Software: SoftwareInfo{ID: "aa"}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<feed>") {
+		t.Fatalf("phantom feed entries: %s", buf.String())
+	}
+	var empty LookupRequest
+	if err := Decode(strings.NewReader(buf.String()), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Feeds) != 0 {
+		t.Fatalf("empty feeds decoded as %v", empty.Feeds)
+	}
+}
+
+func TestVoteRequestQuickRoundTrip(t *testing.T) {
+	clean := func(s string) string {
+		var b strings.Builder
+		for _, r := range s {
+			if r >= 0x20 && r != '<' && r != '&' && r < 0xD800 {
+				b.WriteRune(r)
+			}
+		}
+		return b.String()
+	}
+	f := func(session, comment string, score uint8, size int64) bool {
+		in := VoteRequest{
+			Session:  clean(session),
+			Software: SoftwareInfo{ID: "ab", FileName: "f.exe", FileSize: size},
+			Score:    int(score),
+			Comment:  clean(comment),
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, in); err != nil {
+			return false
+		}
+		var out VoteRequest
+		if err := Decode(&buf, &out); err != nil {
+			return false
+		}
+		return out.Session == in.Session && out.Comment == in.Comment &&
+			out.Score == in.Score && out.Software.FileSize == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommentInfoAuthorTrust(t *testing.T) {
+	in := LookupResponse{Comments: []CommentInfo{{ID: 1, User: "u", AuthorTrust: 42.5}}}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out LookupResponse
+	if err := Decode(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Comments[0].AuthorTrust != 42.5 {
+		t.Fatalf("author trust = %v", out.Comments[0].AuthorTrust)
+	}
+}

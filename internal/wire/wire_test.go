@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := LookupResponse{
+		Known:       true,
+		ID:          "deadbeef",
+		Score:       7.5,
+		Votes:       42,
+		Behaviors:   "displays-ads,tracks-usage",
+		Vendor:      "Acme",
+		VendorScore: 6.1,
+		VendorCount: 3,
+		Comments: []CommentInfo{
+			{ID: 1, User: "alice", Text: "fine", Positive: 2, Negative: 0, At: "2007-03-01T12:00:00Z"},
+			{ID: 2, User: "bob", Text: "pop-ups & <ads>", Positive: 0, Negative: 1, At: "2007-03-02T12:00:00Z"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<?xml") {
+		t.Fatal("missing XML header")
+	}
+	var out LookupResponse
+	if err := Decode(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Score != in.Score || out.Votes != in.Votes || len(out.Comments) != 2 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+	// XML-hostile characters must survive.
+	if out.Comments[1].Text != "pop-ups & <ads>" {
+		t.Fatalf("escaping broke: %q", out.Comments[1].Text)
+	}
+}
+
+func TestRegisterRoundTrip(t *testing.T) {
+	f := func(user, pass, email string, puzzle uint64) bool {
+		// XML cannot carry invalid UTF-8 or control chars; restrict to
+		// printable input, which is what the HTTP layer enforces anyway.
+		clean := func(s string) string {
+			var b strings.Builder
+			for _, r := range s {
+				if r >= 0x20 && r != '<' && r != '&' && r < 0xD800 {
+					b.WriteRune(r)
+				}
+			}
+			return b.String()
+		}
+		in := RegisterRequest{
+			Username:       clean(user),
+			Password:       clean(pass),
+			Email:          clean(email),
+			PuzzleSolution: puzzle,
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, in); err != nil {
+			return false
+		}
+		var out RegisterRequest
+		if err := Decode(&buf, &out); err != nil {
+			return false
+		}
+		return out.Username == in.Username && out.Password == in.Password &&
+			out.Email == in.Email && out.PuzzleSolution == in.PuzzleSolution
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorResponse(t *testing.T) {
+	in := ErrorResponse{Code: CodeAlreadyRated, Message: "user has already rated this software"}
+	var buf bytes.Buffer
+	if err := Encode(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out ErrorResponse
+	if err := Decode(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != CodeAlreadyRated || out.Message != in.Message {
+		t.Fatalf("error round trip = %+v", out)
+	}
+	if !strings.Contains(out.Error(), CodeAlreadyRated) {
+		t.Fatal("Error() must include the code")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	var v LoginRequest
+	if err := Decode(strings.NewReader("this is not xml"), &v); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := Decode(strings.NewReader("<login><username>x</username>"), &v); err == nil {
+		t.Fatal("truncated document accepted")
+	}
+}
+
+func TestAllMessagesEncode(t *testing.T) {
+	// Every message type must marshal without error; guards against tag
+	// typos that only explode at runtime.
+	msgs := []interface{}{
+		ChallengeResponse{CaptchaNonce: "a", PuzzleNonce: "b", PuzzleDifficulty: 8},
+		RegisterRequest{Username: "u"},
+		RegisterResponse{Username: "u"},
+		ActivateRequest{Token: "t"},
+		ActivateResponse{Username: "u"},
+		LoginRequest{Username: "u", Password: "p"},
+		LoginResponse{Token: "s"},
+		LookupRequest{Software: SoftwareInfo{ID: "aa", FileName: "x.exe", FileSize: 1}},
+		LookupResponse{Known: false},
+		VoteRequest{Session: "s", Score: 5},
+		VoteResponse{CommentID: 3},
+		RemarkRequest{Session: "s", CommentID: 3, Positive: true},
+		RemarkResponse{},
+		VendorRequest{Vendor: "Acme"},
+		VendorResponse{Vendor: "Acme", Known: true, Score: 5},
+		StatsResponse{Users: 1},
+	}
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			t.Errorf("encode %T: %v", m, err)
+		}
+	}
+}
