@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race bench simulate verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+simulate:
+	$(GO) run ./cmd/simulate -exp all -quick
+
+# verify is the gate for every change: tier-1 (build + test) plus vet
+# and the race detector.
+verify: build vet race test
+	@echo "verify: OK"

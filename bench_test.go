@@ -320,6 +320,37 @@ func BenchmarkE16InstallStudy(b *testing.B) {
 	}
 }
 
+// BenchmarkE17Chaos reproduces the outage-resilience grid: decision
+// latency and prompt rate for {no-resilience, retry-only,
+// retry+breaker+cache} clients across outage profiles, headline
+// numbers from the 100% partition.
+func BenchmarkE17Chaos(b *testing.B) {
+	var res simulation.ChaosResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunChaos(simulation.QuickChaosConfig(17))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		if row.Profile != "partition (100% outage)" {
+			continue
+		}
+		switch row.Mechanism {
+		case "none":
+			b.ReportMetric(row.PromptRate*100, "prompt-pct-none")
+			b.ReportMetric(float64(row.AvgLatency.Milliseconds()), "latency-ms-none")
+		case "retry":
+			b.ReportMetric(float64(row.AvgLatency.Milliseconds()), "latency-ms-retry")
+		case "retry+breaker+cache":
+			b.ReportMetric(row.PromptRate*100, "prompt-pct-full")
+			b.ReportMetric(float64(row.AvgLatency.Milliseconds()), "latency-ms-full")
+			b.ReportMetric(float64(row.StaleServes), "stale-serves-full")
+		}
+	}
+}
+
 // BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
 // throughput into the embedded store through the full repository path.
 func BenchmarkE14StoredbIngest(b *testing.B) {

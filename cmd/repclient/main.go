@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -66,7 +67,7 @@ func cmdRegister(api *client.API, args []string) {
 	// Fetch the anti-automation challenge. The CAPTCHA cannot be solved
 	// from a CLI against a real deployment; servers run for development
 	// accept registrations without one when -captcha=false.
-	ch, err := api.Challenge()
+	ch, err := api.Challenge(context.Background())
 	if err != nil {
 		log.Fatalf("repclient: %v", err)
 	}
@@ -79,7 +80,7 @@ func cmdRegister(api *client.API, args []string) {
 		req.PuzzleNonce = ch.PuzzleNonce
 		req.PuzzleSolution = sol
 	}
-	if err := api.Register(req); err != nil {
+	if err := api.Register(context.Background(), req); err != nil {
 		log.Fatalf("repclient: register: %v", err)
 	}
 	fmt.Printf("registered %q — check the activation mail for your token\n", *user)
@@ -92,7 +93,7 @@ func cmdActivate(api *client.API, args []string) {
 	if *token == "" {
 		log.Fatal("repclient: activate needs -token")
 	}
-	user, err := api.Activate(*token)
+	user, err := api.Activate(context.Background(), *token)
 	if err != nil {
 		log.Fatalf("repclient: activate: %v", err)
 	}
@@ -129,7 +130,7 @@ func cmdLookup(api *client.API, args []string) {
 	if *feeds != "" {
 		feedList = strings.Split(*feeds, ",")
 	}
-	rep, err := api.Lookup(meta, feedList...)
+	rep, err := api.Lookup(context.Background(), meta, feedList...)
 	if err != nil {
 		log.Fatalf("repclient: lookup: %v", err)
 	}
@@ -169,11 +170,11 @@ func cmdVote(api *client.API, args []string) {
 	if err != nil {
 		log.Fatalf("repclient: %v", err)
 	}
-	session, err := api.Login(*user, *pass)
+	session, err := api.Login(context.Background(), *user, *pass)
 	if err != nil {
 		log.Fatalf("repclient: login: %v", err)
 	}
-	cid, err := api.Vote(session, meta, client.Rating{Score: *score, Behaviors: b, Comment: *comment})
+	cid, err := api.Vote(context.Background(), session, meta, client.Rating{Score: *score, Behaviors: b, Comment: *comment})
 	if err != nil {
 		log.Fatalf("repclient: vote: %v", err)
 	}
@@ -188,7 +189,7 @@ func cmdVendor(api *client.API, args []string) {
 	if len(args) < 1 {
 		log.Fatal("repclient: vendor needs a name")
 	}
-	rep, err := api.Vendor(args[0])
+	rep, err := api.Vendor(context.Background(), args[0])
 	if err != nil {
 		log.Fatalf("repclient: vendor: %v", err)
 	}
@@ -200,7 +201,7 @@ func cmdVendor(api *client.API, args []string) {
 }
 
 func cmdStats(api *client.API) {
-	st, err := api.Stats()
+	st, err := api.Stats(context.Background())
 	if err != nil {
 		log.Fatalf("repclient: stats: %v", err)
 	}

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"softreputation/internal/repo"
@@ -45,6 +46,9 @@ func main() {
 	moderate := flag.Bool("moderate", false, "hold new comments for moderator approval (reputectl pending/approve)")
 	signupsPerIP := flag.Int("signups-per-ip", 0, "per-address daily signup budget (0 = unlimited)")
 	aggEvery := flag.Duration("aggregate-check", 10*time.Minute, "how often to check the 24h aggregation schedule")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline (0 disables)")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent request cap before shedding 503s (0 = uncapped)")
+	grace := flag.Duration("grace", 10*time.Second, "drain window for in-flight requests at shutdown")
 	flag.Parse()
 
 	if *pepper == "" {
@@ -66,13 +70,15 @@ func main() {
 		UsePseudonyms:         *pseudonyms,
 		ModerateComments:      *moderate,
 		MaxSignupsPerIPPerDay: *signupsPerIP,
+		RequestTimeout:        *reqTimeout,
+		MaxInflight:           *maxInflight,
 		Mailer:                stdoutMailer{},
 	})
 	if err != nil {
 		log.Fatalf("reputationd: %v", err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	// The 24-hour aggregation job: the schedule itself lives in the
@@ -94,10 +100,28 @@ func main() {
 		}
 	}()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Socket-level timeouts guard against slow-loris peers; the
+	// per-handler deadline lives in server.Config.RequestTimeout.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	// ListenAndServe returns the moment Shutdown closes the listener,
+	// before in-flight requests have drained — main must wait for
+	// Shutdown itself to return or the process exit kills the drain.
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful shutdown: refuse new work first (clients see 503 +
+		// Retry-After and fail over), then drain in-flight requests.
+		log.Println("reputationd: draining for shutdown")
+		srv.SetDraining(true)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
@@ -108,5 +132,6 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("reputationd: %v", err)
 	}
+	<-drained
 	log.Println("reputationd: shut down")
 }

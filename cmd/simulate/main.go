@@ -154,6 +154,13 @@ func experiments() []experiment {
 			}
 			return simulation.RunInstallStudy(cfg)
 		}},
+		{"e17", "E17: chaos — decision quality under server outages", func(seed int64, quick bool) (fmt.Stringer, error) {
+			cfg := simulation.DefaultChaosConfig(seed)
+			if quick {
+				cfg = simulation.QuickChaosConfig(seed)
+			}
+			return simulation.RunChaos(cfg)
+		}},
 	}
 }
 
@@ -178,6 +185,10 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			want[strings.TrimSpace(strings.ToLower(id))] = true
 		}
+	}
+	// Named aliases for memorable invocations.
+	if want["chaos"] {
+		want["e17"] = true
 	}
 
 	matched := 0

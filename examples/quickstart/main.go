@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -40,17 +41,17 @@ func main() {
 	// 2. A user registers, activates (reading the token from the
 	// in-memory activation mailbox) and logs in.
 	api := softreputation.NewAPI(baseURL)
-	if err := api.Register(registerRequest("alice", "correct-horse", "alice@example.com")); err != nil {
+	if err := api.Register(context.Background(), registerRequest("alice", "correct-horse", "alice@example.com")); err != nil {
 		log.Fatal(err)
 	}
 	mail, ok := srv.Mailer().(*softreputation.MemoryMailer).Read("alice@example.com")
 	if !ok {
 		log.Fatal("no activation mail delivered")
 	}
-	if _, err := api.Activate(mail.Token); err != nil {
+	if _, err := api.Activate(context.Background(), mail.Token); err != nil {
 		log.Fatal(err)
 	}
-	session, err := api.Login("alice", "correct-horse")
+	session, err := api.Login(context.Background(), "alice", "correct-horse")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,14 +67,14 @@ func main() {
 		Vendor:   "FreeStuff Ltd",
 		Version:  "2.4",
 	}
-	rep, err := api.Lookup(meta)
+	rep, err := api.Lookup(context.Background(), meta)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("first lookup: known=%v votes=%d\n", rep.Known, rep.Votes)
 
 	// 4. Alice used it for a while and rates it, reporting behaviours.
-	cid, err := api.Vote(session, meta, softreputation.Rating{
+	cid, err := api.Vote(context.Background(), session, meta, softreputation.Rating{
 		Score:     3,
 		Behaviors: mustBehaviors("displays-ads,bundled-software,broken-uninstall"),
 		Comment:   "installs two ad engines and the uninstaller leaves them behind",
@@ -87,7 +88,7 @@ func main() {
 	if err := srv.RunAggregation(); err != nil {
 		log.Fatal(err)
 	}
-	rep, err = api.Lookup(meta)
+	rep, err = api.Lookup(context.Background(), meta)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package softreputation
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"strings"
@@ -34,17 +35,17 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	go http.Serve(ln, srv.Handler())
 	api := NewAPI("http://" + ln.Addr().String())
 
-	if err := api.Register(RegisterRequest{Username: "alice", Password: "pw", Email: "alice@example.com"}); err != nil {
+	if err := api.Register(context.Background(), RegisterRequest{Username: "alice", Password: "pw", Email: "alice@example.com"}); err != nil {
 		t.Fatal(err)
 	}
 	mail, ok := srv.Mailer().(*MemoryMailer).Read("alice@example.com")
 	if !ok {
 		t.Fatal("no activation mail")
 	}
-	if _, err := api.Activate(mail.Token); err != nil {
+	if _, err := api.Activate(context.Background(), mail.Token); err != nil {
 		t.Fatal(err)
 	}
-	session, err := api.Login("alice", "pw")
+	session, err := api.Login(context.Background(), "alice", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,13 +61,13 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := api.Vote(session, meta, Rating{Score: 6, Behaviors: behaviors, Comment: "ads but works"}); err != nil {
+	if _, err := api.Vote(context.Background(), session, meta, Rating{Score: 6, Behaviors: behaviors, Comment: "ads but works"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.RunAggregation(); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := api.Lookup(meta)
+	rep, err := api.Lookup(context.Background(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}

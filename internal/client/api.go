@@ -1,30 +1,44 @@
 // Package client implements the reputation system's client side (§3.1):
 // the API client speaking the XML protocol, the execution-decision
 // engine behind the host's kernel hook with its white and black lists,
-// signature-based auto-allowing (§4.2), policy enforcement, and the
+// signature-based auto-allowing (§4.2), policy enforcement, the
 // rating-prompt throttle (ask only after 50 executions, at most two
-// rating prompts per week).
+// rating prompts per week), and the degraded-mode machinery that keeps
+// hosts deciding when the server is slow, shedding load, or down.
 package client
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"softreputation/internal/core"
+	"softreputation/internal/resilience"
 	"softreputation/internal/wire"
 )
 
+// maxResponseBytes bounds how much of a response body the client will
+// read, mirroring the server's 1 MiB request cap: a confused or
+// malicious server must not be able to balloon client memory.
+const maxResponseBytes = 1 << 20
+
 // API is a client for the server's XML protocol. It is safe for
-// concurrent use.
+// concurrent use. Every method takes a context; cancelling it aborts
+// the in-flight request and any pending retries.
 type API struct {
 	base string
 	http *http.Client
+	exec *resilience.Executor
 }
 
 // NewAPI creates an API client for the server at baseURL. A nil
 // httpClient selects http.DefaultClient; passing a client with a custom
-// transport is how lookups are routed through the anonymity network.
+// transport is how lookups are routed through the anonymity network (or
+// a fault injector).
 func NewAPI(baseURL string, httpClient *http.Client) *API {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
@@ -32,64 +46,131 @@ func NewAPI(baseURL string, httpClient *http.Client) *API {
 	return &API{base: baseURL, http: httpClient}
 }
 
-// call POSTs req as XML to path and decodes the response into resp.
-// Wire-level errors come back as *wire.ErrorResponse.
-func (a *API) call(path string, req, resp interface{}) error {
-	var buf bytes.Buffer
-	if err := wire.Encode(&buf, req); err != nil {
-		return err
+// WithResilience wraps every call in the executor's retry policy and
+// circuit breaker, returning the API for chaining. A nil executor
+// restores direct single-attempt calls.
+func (a *API) WithResilience(e *resilience.Executor) *API {
+	a.exec = e
+	return a
+}
+
+// Resilience returns the installed executor, nil when calls are direct.
+func (a *API) Resilience() *resilience.Executor { return a.exec }
+
+// do runs fn under the resilience executor when one is installed.
+func (a *API) do(ctx context.Context, fn func(ctx context.Context) error) error {
+	if a.exec != nil {
+		return a.exec.Do(ctx, fn)
 	}
-	httpResp, err := a.http.Post(a.base+path, wire.ContentType, &buf)
+	return fn(ctx)
+}
+
+// roundTrip performs one HTTP exchange: body is posted when non-nil
+// (GET otherwise), the response is decoded into resp when non-nil.
+// Non-2xx statuses come back as *resilience.HTTPStatusError wrapping
+// the decoded wire error, so retry logic can classify by status while
+// errors.As still reaches the *wire.ErrorResponse underneath.
+func (a *API) roundTrip(ctx context.Context, path string, body []byte, resp interface{}) error {
+	method := http.MethodGet
+	var rd io.Reader
+	if body != nil {
+		method = http.MethodPost
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, a.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", wire.ContentType)
+	}
+	httpResp, err := a.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
 	}
 	defer httpResp.Body.Close()
+	limited := io.LimitReader(httpResp.Body, maxResponseBytes)
 	if httpResp.StatusCode/100 != 2 {
-		var werr wire.ErrorResponse
-		if err := wire.Decode(httpResp.Body, &werr); err != nil {
-			return fmt.Errorf("client: %s: status %s", path, httpResp.Status)
+		statusErr := &resilience.HTTPStatusError{
+			Status:     httpResp.StatusCode,
+			RetryAfter: parseRetryAfter(httpResp.Header.Get("Retry-After")),
 		}
-		return &werr
+		var werr wire.ErrorResponse
+		if err := wire.Decode(limited, &werr); err != nil {
+			statusErr.Err = fmt.Errorf("client: %s: status %s", path, httpResp.Status)
+		} else {
+			statusErr.Err = &werr
+		}
+		return statusErr
 	}
 	if resp == nil {
 		return nil
 	}
-	return wire.Decode(httpResp.Body, resp)
+	if err := wire.Decode(limited, resp); err != nil {
+		return fmt.Errorf("client: %s: %w", path, err)
+	}
+	return nil
+}
+
+// call POSTs req as XML to path and decodes the response into resp,
+// retrying under the installed resilience policy.
+func (a *API) call(ctx context.Context, path string, req, resp interface{}) error {
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf, req); err != nil {
+		return err
+	}
+	body := buf.Bytes()
+	return a.do(ctx, func(ctx context.Context) error {
+		return a.roundTrip(ctx, path, body, resp)
+	})
+}
+
+// get fetches one of the read-only endpoints.
+func (a *API) get(ctx context.Context, path string, resp interface{}) error {
+	return a.do(ctx, func(ctx context.Context) error {
+		return a.roundTrip(ctx, path, nil, resp)
+	})
+}
+
+// parseRetryAfter reads a Retry-After header's delay-seconds form.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Challenge fetches the registration challenge.
-func (a *API) Challenge() (wire.ChallengeResponse, error) {
+func (a *API) Challenge(ctx context.Context) (wire.ChallengeResponse, error) {
 	var out wire.ChallengeResponse
-	httpResp, err := a.http.Get(a.base + wire.PathChallenge)
-	if err != nil {
-		return out, fmt.Errorf("client: challenge: %w", err)
+	if err := a.get(ctx, wire.PathChallenge, &out); err != nil {
+		return out, err
 	}
-	defer httpResp.Body.Close()
-	if httpResp.StatusCode/100 != 2 {
-		return out, fmt.Errorf("client: challenge: status %s", httpResp.Status)
-	}
-	err = wire.Decode(httpResp.Body, &out)
-	return out, err
+	return out, nil
 }
 
 // Register submits a registration.
-func (a *API) Register(req wire.RegisterRequest) error {
-	return a.call(wire.PathRegister, req, &wire.RegisterResponse{})
+func (a *API) Register(ctx context.Context, req wire.RegisterRequest) error {
+	return a.call(ctx, wire.PathRegister, req, &wire.RegisterResponse{})
 }
 
 // Activate redeems an activation token and returns the username.
-func (a *API) Activate(token string) (string, error) {
+func (a *API) Activate(ctx context.Context, token string) (string, error) {
 	var resp wire.ActivateResponse
-	if err := a.call(wire.PathActivate, wire.ActivateRequest{Token: token}, &resp); err != nil {
+	if err := a.call(ctx, wire.PathActivate, wire.ActivateRequest{Token: token}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Username, nil
 }
 
 // Login opens a session and returns its token.
-func (a *API) Login(username, password string) (string, error) {
+func (a *API) Login(ctx context.Context, username, password string) (string, error) {
 	var resp wire.LoginResponse
-	if err := a.call(wire.PathLogin, wire.LoginRequest{Username: username, Password: password}, &resp); err != nil {
+	if err := a.call(ctx, wire.PathLogin, wire.LoginRequest{Username: username, Password: password}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Token, nil
@@ -137,10 +218,10 @@ func metaToWire(meta core.SoftwareMeta) wire.SoftwareInfo {
 
 // Lookup fetches the report for an executable, attaching advice from
 // any named expert-feed subscriptions (§4.2).
-func (a *API) Lookup(meta core.SoftwareMeta, feeds ...string) (Report, error) {
+func (a *API) Lookup(ctx context.Context, meta core.SoftwareMeta, feeds ...string) (Report, error) {
 	var resp wire.LookupResponse
 	req := wire.LookupRequest{Software: metaToWire(meta), Feeds: feeds}
-	if err := a.call(wire.PathLookup, req, &resp); err != nil {
+	if err := a.call(ctx, wire.PathLookup, req, &resp); err != nil {
 		return Report{}, err
 	}
 	behaviors, err := core.ParseBehavior(resp.Behaviors)
@@ -181,9 +262,9 @@ type Rating struct {
 
 // Vote casts the session user's vote on an executable and returns the
 // comment ID when a comment was attached.
-func (a *API) Vote(session string, meta core.SoftwareMeta, r Rating) (uint64, error) {
+func (a *API) Vote(ctx context.Context, session string, meta core.SoftwareMeta, r Rating) (uint64, error) {
 	var resp wire.VoteResponse
-	err := a.call(wire.PathVote, wire.VoteRequest{
+	err := a.call(ctx, wire.PathVote, wire.VoteRequest{
 		Session:   session,
 		Software:  metaToWire(meta),
 		Score:     r.Score,
@@ -197,30 +278,22 @@ func (a *API) Vote(session string, meta core.SoftwareMeta, r Rating) (uint64, er
 }
 
 // Remark judges another user's comment.
-func (a *API) Remark(session string, commentID uint64, positive bool) error {
-	return a.call(wire.PathRemark, wire.RemarkRequest{
+func (a *API) Remark(ctx context.Context, session string, commentID uint64, positive bool) error {
+	return a.call(ctx, wire.PathRemark, wire.RemarkRequest{
 		Session: session, CommentID: commentID, Positive: positive,
 	}, &wire.RemarkResponse{})
 }
 
 // Vendor fetches a vendor's derived rating.
-func (a *API) Vendor(name string) (wire.VendorResponse, error) {
+func (a *API) Vendor(ctx context.Context, name string) (wire.VendorResponse, error) {
 	var resp wire.VendorResponse
-	err := a.call(wire.PathVendor, wire.VendorRequest{Vendor: name}, &resp)
+	err := a.call(ctx, wire.PathVendor, wire.VendorRequest{Vendor: name}, &resp)
 	return resp, err
 }
 
 // Stats fetches the database summary.
-func (a *API) Stats() (wire.StatsResponse, error) {
+func (a *API) Stats(ctx context.Context) (wire.StatsResponse, error) {
 	var resp wire.StatsResponse
-	httpResp, err := a.http.Get(a.base + wire.PathStats)
-	if err != nil {
-		return resp, fmt.Errorf("client: stats: %w", err)
-	}
-	defer httpResp.Body.Close()
-	if httpResp.StatusCode/100 != 2 {
-		return resp, fmt.Errorf("client: stats: status %s", httpResp.Status)
-	}
-	err = wire.Decode(httpResp.Body, &resp)
+	err := a.get(ctx, wire.PathStats, &resp)
 	return resp, err
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -20,6 +21,39 @@ const (
 	DefaultRatingPromptThreshold = 50
 	DefaultMaxRatingPromptsWeek  = 2
 )
+
+// FailurePolicy selects what the client does when a lookup fails and
+// no cached report is available — the §4.2 stability question: the
+// exec hook holds a frozen process, and the server is not answering.
+type FailurePolicy int
+
+// Failure policies.
+const (
+	// FailPrompt consults the user over an empty report (the
+	// pre-resilience behaviour, and the default).
+	FailPrompt FailurePolicy = iota
+	// FailOpen allows the execution silently. The decision is not
+	// remembered on the white list: it reflects an outage, not a
+	// judgement about the software.
+	FailOpen
+	// FailClosed denies the execution silently — except for critical
+	// system processes, which are always allowed so that a dead
+	// reputation server can never take the host down (§4.2). Denials
+	// are not remembered on the black list.
+	FailClosed
+)
+
+// String names the policy for tables and logs.
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailOpen:
+		return "fail-open"
+	case FailClosed:
+		return "fail-closed"
+	default:
+		return "prompt"
+	}
+}
 
 // Prompter is the interactive user: the execution prompt of §3.1 and
 // the rating prompt.
@@ -79,6 +113,19 @@ type Config struct {
 	// Subscriptions names the §4.2 expert feeds whose advice lookups
 	// should carry; advice reaches the Prompter via Report.Advice.
 	Subscriptions []string
+
+	// CacheTTL enables the degraded-mode report cache: lookups within
+	// the TTL are served locally, and when the server is unreachable
+	// (or the circuit breaker is open) expired entries are served
+	// stale rather than failing the decision. 0 disables caching.
+	CacheTTL time.Duration
+	// OnLookupFailure selects the degraded-mode decision when a
+	// lookup fails and no cached report exists; the zero value keeps
+	// the historical prompt-on-empty-report behaviour.
+	OnLookupFailure FailurePolicy
+	// LookupTimeout bounds each decision's lookup (retries included);
+	// 0 means no overall deadline beyond the API's own policy.
+	LookupTimeout time.Duration
 }
 
 // Stats counts client-side decision outcomes.
@@ -99,8 +146,28 @@ type Stats struct {
 	// votes actually cast.
 	RatingPrompts    int
 	RatingsSubmitted int
-	// LookupFailures counts lookups that errored (server unreachable).
+	// LookupFailures counts lookups that errored (server unreachable,
+	// overloaded, or fast-failed by the circuit breaker).
 	LookupFailures int
+	// CacheHits counts decisions served from a fresh cached report
+	// without a network round trip.
+	CacheHits int
+	// StaleServes counts decisions that fell back to an expired
+	// cached report because the server was unreachable.
+	StaleServes int
+	// FailOpenAllows / FailClosedDenies count degraded-mode decisions
+	// taken without a report under the configured FailurePolicy.
+	FailOpenAllows   int
+	FailClosedDenies int
+	// CriticalBypasses counts critical system processes allowed while
+	// fail-closed — the §4.2 "never crash the host" guarantee.
+	CriticalBypasses int
+}
+
+// cacheEntry is one cached lookup report.
+type cacheEntry struct {
+	rep Report
+	at  time.Time
 }
 
 // Client is the per-machine reputation client. It implements
@@ -116,6 +183,9 @@ type Client struct {
 	threshold     int
 	weekBudget    int
 	subscriptions []string
+	cacheTTL      time.Duration
+	onFailure     FailurePolicy
+	lookupTimeout time.Duration
 
 	mu          sync.Mutex
 	session     string
@@ -123,6 +193,7 @@ type Client struct {
 	black       map[core.SoftwareID]bool
 	execCount   map[core.SoftwareID]int
 	rated       map[core.SoftwareID]bool
+	cache       map[core.SoftwareID]cacheEntry
 	start       time.Time
 	promptWeek  int
 	promptsWeek int
@@ -156,11 +227,15 @@ func New(cfg Config) *Client {
 		threshold:     threshold,
 		weekBudget:    budget,
 		subscriptions: cfg.Subscriptions,
+		cacheTTL:      cfg.CacheTTL,
+		onFailure:     cfg.OnLookupFailure,
+		lookupTimeout: cfg.LookupTimeout,
 		session:       cfg.Session,
 		white:         make(map[core.SoftwareID]bool),
 		black:         make(map[core.SoftwareID]bool),
 		execCount:     make(map[core.SoftwareID]int),
 		rated:         make(map[core.SoftwareID]bool),
+		cache:         make(map[core.SoftwareID]cacheEntry),
 		start:         clock.Now(),
 	}
 }
@@ -209,6 +284,84 @@ func (c *Client) Stats() Stats {
 	return c.stats
 }
 
+// cacheGet returns the cached report for id. fresh=true means the
+// entry is within the TTL; a present-but-expired entry comes back with
+// fresh=false for stale-serving.
+func (c *Client) cacheGet(id core.SoftwareID, now time.Time) (rep Report, fresh, ok bool) {
+	if c.cacheTTL <= 0 {
+		return Report{}, false, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.cache[id]
+	if !ok {
+		return Report{}, false, false
+	}
+	return ent.rep, now.Sub(ent.at) <= c.cacheTTL, true
+}
+
+// cachePut stores a report. Only reports the server actually knows are
+// worth keeping: a cached "unknown" would suppress the refetch that
+// could find a newly published score.
+func (c *Client) cachePut(id core.SoftwareID, rep Report, now time.Time) {
+	if c.cacheTTL <= 0 || !rep.Known {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache[id] = cacheEntry{rep: rep, at: now}
+}
+
+// CachedReports returns how many reports the lookup cache holds.
+func (c *Client) CachedReports() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// Prefetch warms the lookup cache with the reports for the given
+// executables — installed software, typically, fetched in the
+// background at boot so that a later server outage finds a warm cache.
+// It returns how many reports were cached; the first lookup error
+// stops the sweep.
+func (c *Client) Prefetch(ctx context.Context, metas []core.SoftwareMeta) (int, error) {
+	if c.api == nil || c.cacheTTL <= 0 {
+		return 0, nil
+	}
+	cached := 0
+	for _, meta := range metas {
+		rep, err := c.lookup(ctx, meta)
+		if err != nil {
+			return cached, err
+		}
+		if rep.Known {
+			cached++
+		}
+	}
+	return cached, nil
+}
+
+// lookup performs one server lookup with the configured deadline and
+// updates the cache and counters.
+func (c *Client) lookup(ctx context.Context, meta core.SoftwareMeta) (Report, error) {
+	if c.lookupTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.lookupTimeout)
+		defer cancel()
+	}
+	rep, err := c.api.Lookup(ctx, meta, c.subscriptions...)
+	c.mu.Lock()
+	c.stats.Lookups++
+	if err != nil {
+		c.stats.LookupFailures++
+	}
+	c.mu.Unlock()
+	if err == nil {
+		c.cachePut(meta.ID, rep, c.clock.Now())
+	}
+	return rep, err
+}
+
 // OnExec implements hostsim.Hook: the §3.1 decision flow. The driver
 // has suspended the process; this method decides allow/deny.
 func (c *Client) OnExec(req hostsim.ExecRequest) hostsim.Decision {
@@ -241,8 +394,10 @@ func (c *Client) OnExec(req hostsim.ExecRequest) hostsim.Decision {
 		return hostsim.Allow
 	}
 
-	// 3. Fetch the report. Metadata comes from the image itself; a
-	// malformed image still gets a content-hash identity.
+	// 3. Fetch the report: a fresh cache entry first, then the server,
+	// then a stale cache entry when the server cannot answer. Metadata
+	// comes from the image itself; a malformed image still gets a
+	// content-hash identity.
 	meta, err := hostsim.ParseMeta(req.Content)
 	if err != nil {
 		meta = core.SoftwareMeta{
@@ -252,16 +407,60 @@ func (c *Client) OnExec(req hostsim.ExecRequest) hostsim.Decision {
 		}
 	}
 	var rep Report
+	haveReport := c.api == nil // no API configured: decide locally, as before
 	if c.api != nil {
-		rep, err = c.api.Lookup(meta, c.subscriptions...)
-		c.mu.Lock()
-		c.stats.Lookups++
-		if err != nil {
-			c.stats.LookupFailures++
+		now := c.clock.Now()
+		if cached, fresh, ok := c.cacheGet(id, now); ok && fresh {
+			rep = cached
+			haveReport = true
+			c.mu.Lock()
+			c.stats.CacheHits++
+			c.mu.Unlock()
+		} else {
+			fetched, err := c.lookup(context.Background(), meta)
+			if err == nil {
+				rep = fetched
+				haveReport = true
+			} else if cached, _, ok := c.cacheGet(id, now); ok {
+				// Degraded mode: the server is unreachable (or the
+				// breaker is open); an expired report beats none.
+				rep = cached
+				haveReport = true
+				c.mu.Lock()
+				c.stats.StaleServes++
+				c.mu.Unlock()
+			}
 		}
-		c.mu.Unlock()
-		if err != nil {
-			rep = Report{} // server unreachable: decide on an empty report
+	}
+
+	// 3b. No report at all: apply the configured failure policy.
+	// Fail-open and fail-closed decisions are deliberately NOT
+	// remembered on the lists — they reflect an outage, not a
+	// judgement about the software.
+	if !haveReport {
+		switch c.onFailure {
+		case FailOpen:
+			c.mu.Lock()
+			c.stats.FailOpenAllows++
+			c.mu.Unlock()
+			c.afterAllowed(id, req)
+			return hostsim.Allow
+		case FailClosed:
+			c.mu.Lock()
+			if req.Critical {
+				// Never block a critical process on a dead server
+				// (§4.2): denying it would crash the host.
+				c.stats.CriticalBypasses++
+				c.mu.Unlock()
+				c.afterAllowed(id, req)
+				return hostsim.Allow
+			}
+			c.stats.FailClosedDenies++
+			c.mu.Unlock()
+			return hostsim.Deny
+		default:
+			// FailPrompt: fall through to policy and prompt with the
+			// empty report.
 		}
 	}
 
@@ -350,7 +549,7 @@ func (c *Client) afterAllowed(id core.SoftwareID, req hostsim.ExecRequest) {
 	}
 	var rep Report
 	if c.api != nil {
-		if r, err := c.api.Lookup(meta, c.subscriptions...); err == nil {
+		if r, err := c.api.Lookup(context.Background(), meta, c.subscriptions...); err == nil {
 			rep = r
 		}
 	}
@@ -361,7 +560,7 @@ func (c *Client) afterAllowed(id core.SoftwareID, req hostsim.ExecRequest) {
 	if c.api == nil {
 		return
 	}
-	if _, err := c.api.Vote(session, meta, rating); err == nil {
+	if _, err := c.api.Vote(context.Background(), session, meta, rating); err == nil {
 		c.mu.Lock()
 		c.rated[id] = true
 		c.stats.RatingsSubmitted++

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -56,17 +57,17 @@ func newFixture(t *testing.T) *fixture {
 func (f *fixture) signup(username string) string {
 	f.t.Helper()
 	email := username + "@example.com"
-	if err := f.api.Register(wire.RegisterRequest{Username: username, Password: "pw", Email: email}); err != nil {
+	if err := f.api.Register(context.Background(), wire.RegisterRequest{Username: username, Password: "pw", Email: email}); err != nil {
 		f.t.Fatalf("register: %v", err)
 	}
 	mail, ok := f.srv.Mailer().(*server.MemoryMailer).Read(email)
 	if !ok {
 		f.t.Fatal("no activation mail")
 	}
-	if _, err := f.api.Activate(mail.Token); err != nil {
+	if _, err := f.api.Activate(context.Background(), mail.Token); err != nil {
 		f.t.Fatalf("activate: %v", err)
 	}
-	session, err := f.api.Login(username, "pw")
+	session, err := f.api.Login(context.Background(), username, "pw")
 	if err != nil {
 		f.t.Fatalf("login: %v", err)
 	}
@@ -90,7 +91,7 @@ func TestAPISignupAndVoteFlow(t *testing.T) {
 	exe := buildExe(1, "Acme")
 	meta, _ := exe.Meta()
 
-	rep, err := f.api.Lookup(meta)
+	rep, err := f.api.Lookup(context.Background(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,14 +99,14 @@ func TestAPISignupAndVoteFlow(t *testing.T) {
 		t.Fatal("first lookup must be unknown")
 	}
 
-	cid, err := f.api.Vote(session, meta, Rating{Score: 8, Behaviors: core.BehaviorStartupRegistration, Comment: "good"})
+	cid, err := f.api.Vote(context.Background(), session, meta, Rating{Score: 8, Behaviors: core.BehaviorStartupRegistration, Comment: "good"})
 	if err != nil || cid == 0 {
 		t.Fatalf("vote: %d, %v", cid, err)
 	}
 	if err := f.srv.RunAggregation(); err != nil {
 		t.Fatal(err)
 	}
-	rep, err = f.api.Lookup(meta)
+	rep, err = f.api.Lookup(context.Background(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,14 +122,14 @@ func TestAPISignupAndVoteFlow(t *testing.T) {
 
 	// Second user remarks the comment over the API.
 	session2 := f.signup("bob")
-	if err := f.api.Remark(session2, cid, true); err != nil {
+	if err := f.api.Remark(context.Background(), session2, cid, true); err != nil {
 		t.Fatal(err)
 	}
-	vend, err := f.api.Vendor("Acme")
+	vend, err := f.api.Vendor(context.Background(), "Acme")
 	if err != nil || !vend.Known {
 		t.Fatalf("vendor: %+v, %v", vend, err)
 	}
-	stats, err := f.api.Stats()
+	stats, err := f.api.Stats(context.Background())
 	if err != nil || stats.Users != 2 {
 		t.Fatalf("stats: %+v, %v", stats, err)
 	}
@@ -666,7 +667,7 @@ func TestFullyAnonymizedAPI(t *testing.T) {
 	})
 
 	// Register, activate and log in — all through the circuit.
-	if err := anonAPI.Register(wire.RegisterRequest{
+	if err := anonAPI.Register(context.Background(), wire.RegisterRequest{
 		Username: "shy", Password: "pw", Email: "shy@example.com",
 	}); err != nil {
 		t.Fatal(err)
@@ -675,23 +676,23 @@ func TestFullyAnonymizedAPI(t *testing.T) {
 	if !ok {
 		t.Fatal("no activation mail")
 	}
-	if _, err := anonAPI.Activate(mail.Token); err != nil {
+	if _, err := anonAPI.Activate(context.Background(), mail.Token); err != nil {
 		t.Fatal(err)
 	}
-	session, err := anonAPI.Login("shy", "pw")
+	session, err := anonAPI.Login(context.Background(), "shy", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	exe := buildExe(11, "HiddenSoft")
 	meta, _ := exe.Meta()
-	if _, err := anonAPI.Vote(session, meta, Rating{Score: 6, Comment: "via tor"}); err != nil {
+	if _, err := anonAPI.Vote(context.Background(), session, meta, Rating{Score: 6, Comment: "via tor"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.srv.RunAggregation(); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := anonAPI.Lookup(meta)
+	rep, err := anonAPI.Lookup(context.Background(), meta)
 	if err != nil {
 		t.Fatal(err)
 	}

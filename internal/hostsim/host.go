@@ -41,6 +41,10 @@ type ExecRequest struct {
 	Content []byte
 	// Sig is the image's detached signature, if any.
 	Sig signature.Detached
+	// Critical reports whether the path is an essential system
+	// component (MarkCritical): denying it crashes the host, so a
+	// fail-closed client must let it run even with no report (§4.2).
+	Critical bool
 	// At is the execution instant.
 	At time.Time
 }
@@ -176,11 +180,12 @@ func (h *Host) Exec(path string, now time.Time) (ExecResult, error) {
 		// The hook runs outside the host lock: real clients perform
 		// network lookups and user prompts while the process is frozen.
 		decision = hook.OnExec(ExecRequest{
-			Host:    h.Name,
-			Path:    path,
-			Content: exe.Content,
-			Sig:     exe.Sig,
-			At:      now,
+			Host:     h.Name,
+			Path:     path,
+			Content:  exe.Content,
+			Sig:      exe.Sig,
+			Critical: isCritical,
+			At:       now,
 		})
 	}
 

@@ -1,0 +1,156 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+
+	"softreputation/internal/vclock"
+)
+
+// State is the circuit breaker's position.
+type State int
+
+// Breaker states.
+const (
+	// Closed passes calls through, counting consecutive failures.
+	Closed State = iota
+	// Open fast-fails every call until the cooldown elapses.
+	Open
+	// HalfOpen lets one probe through; its outcome closes or reopens
+	// the circuit.
+	HalfOpen
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerStats counts breaker activity.
+type BreakerStats struct {
+	// Opens is how many times the circuit tripped open.
+	Opens int
+	// FastFails counts calls rejected without touching the network.
+	FastFails int
+	// Probes counts half-open probe attempts.
+	Probes int
+}
+
+// Breaker is a closed/open/half-open circuit breaker on a pluggable
+// clock. It is safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     vclock.Clock
+
+	mu       sync.Mutex
+	state    State
+	failures int
+	openedAt time.Time
+	probing  bool
+	stats    BreakerStats
+}
+
+// NewBreaker creates a breaker that opens after threshold consecutive
+// failures and probes again cooldown later. A nil clock selects the
+// system clock.
+func NewBreaker(threshold int, cooldown time.Duration, clock vclock.Clock) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, clock: clock}
+}
+
+// Allow gates one call: nil means proceed (and, in half-open, claims
+// the probe slot); ErrOpen means fast-fail without a network attempt.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.roll(b.clock.Now())
+	switch b.state {
+	case Closed:
+		return nil
+	case HalfOpen:
+		if b.probing {
+			b.stats.FastFails++
+			return ErrOpen
+		}
+		b.probing = true
+		b.stats.Probes++
+		return nil
+	default: // Open
+		b.stats.FastFails++
+		return ErrOpen
+	}
+}
+
+// Record reports a call's outcome. Only transient failures (see
+// Retryable) count against the circuit: a 4xx answer proves the server
+// is alive and resets the failure streak like a success.
+func (b *Breaker) Record(err error) {
+	failure := err != nil && Retryable(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.probing = false
+		if failure {
+			b.trip()
+		} else {
+			b.state = Closed
+			b.failures = 0
+		}
+	default:
+		if failure {
+			b.failures++
+			if b.failures >= b.threshold {
+				b.trip()
+			}
+		} else {
+			b.failures = 0
+		}
+	}
+}
+
+// trip opens the circuit; the caller holds the lock.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.failures = 0
+	b.openedAt = b.clock.Now()
+	b.stats.Opens++
+}
+
+// roll moves open → half-open once the cooldown has elapsed; the
+// caller holds the lock.
+func (b *Breaker) roll(now time.Time) {
+	if b.state == Open && now.Sub(b.openedAt) >= b.cooldown {
+		b.state = HalfOpen
+		b.probing = false
+	}
+}
+
+// State returns the current position, cooldown transitions applied.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.roll(b.clock.Now())
+	return b.state
+}
+
+// Stats returns a snapshot of the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

@@ -1,0 +1,318 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"softreputation/internal/vclock"
+)
+
+func TestScheduleWindowsAndEveryN(t *testing.T) {
+	start := vclock.Epoch
+	s := Schedule{Start: start, Windows: []Window{
+		{From: time.Minute, To: 2 * time.Minute, Mode: FaultDrop},
+	}}
+	if _, ok := s.at(start); ok {
+		t.Fatal("matched before the window")
+	}
+	if w, ok := s.at(start.Add(90 * time.Second)); !ok || w.Mode != FaultDrop {
+		t.Fatalf("window not matched: %+v %v", w, ok)
+	}
+	if _, ok := s.at(start.Add(2 * time.Minute)); ok {
+		t.Fatal("window end must be exclusive")
+	}
+}
+
+func TestFaultTransportDeterministicOutage(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	clock := vclock.NewVirtual(vclock.Epoch)
+	ft := &FaultTransport{
+		Base:  ts.Client().Transport,
+		Clock: clock,
+		Schedule: Schedule{Start: vclock.Epoch, Windows: []Window{
+			{From: time.Hour, To: 2 * time.Hour, Mode: FaultPartition, Latency: time.Second},
+		}},
+	}
+	httpc := &http.Client{Transport: ft}
+
+	// Before the outage: requests pass.
+	resp, err := httpc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("healthy request failed: %v", err)
+	}
+	resp.Body.Close()
+
+	// Inside the outage: every request burns the connect cost and fails.
+	clock.Advance(time.Hour)
+	before := clock.Now()
+	if _, err := httpc.Get(ts.URL); err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	if got := clock.Now().Sub(before); got != time.Second {
+		t.Fatalf("connect cost = %v, want 1s", got)
+	}
+
+	// After the outage: healthy again.
+	clock.Advance(time.Hour)
+	resp, err = httpc.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("post-outage request failed: %v", err)
+	}
+	resp.Body.Close()
+
+	st := ft.Stats()
+	if st.Requests != 3 || st.Dropped != 1 || st.AddedLatency != time.Second {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultTransportUnavailableAndEveryN(t *testing.T) {
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	clock := vclock.NewVirtual(vclock.Epoch)
+	ft := &FaultTransport{
+		Base:  ts.Client().Transport,
+		Clock: clock,
+		Schedule: Schedule{Start: vclock.Epoch, Windows: []Window{
+			{From: 0, To: time.Hour, Mode: FaultUnavailable, EveryN: 2, RetryAfter: 3 * time.Second},
+		}},
+	}
+	httpc := &http.Client{Transport: ft}
+
+	// 1st request faulted, 2nd passes, 3rd faulted, 4th passes.
+	codes := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		resp, err := httpc.Get(ts.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		codes = append(codes, resp.StatusCode)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if ra := resp.Header.Get("Retry-After"); ra != "3" {
+				t.Fatalf("Retry-After = %q", ra)
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	want := []int{503, 200, 503, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls)
+	}
+	if st := ft.Stats(); st.Unavailable != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	p := Policy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 500 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		500 * time.Millisecond, 500 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("connection refused"), true},
+		{&HTTPStatusError{Status: 503, Err: errors.New("x")}, true},
+		{&HTTPStatusError{Status: 429, Err: errors.New("x")}, true},
+		{&HTTPStatusError{Status: 404, Err: errors.New("x")}, false},
+		{&HTTPStatusError{Status: 409, Err: errors.New("x")}, false},
+		{ErrOpen, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, true}, // an attempt deadline: try again
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Fatalf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := vclock.NewVirtual(vclock.Epoch)
+	b := NewBreaker(3, time.Minute, clock)
+	fail := errors.New("connection refused")
+
+	// Three consecutive transient failures trip the circuit.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Record(fail)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+
+	// After the cooldown: exactly one probe goes through.
+	clock.Advance(time.Minute)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open breaker rejected the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second concurrent probe allowed")
+	}
+
+	// A failed probe reopens; a later successful probe closes.
+	b.Record(fail)
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v", b.State())
+	}
+	clock.Advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal("probe after second cooldown rejected")
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state after good probe = %v", b.State())
+	}
+	st := b.Stats()
+	if st.Opens != 2 || st.Probes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBreakerApplicationErrorsDoNotTrip(t *testing.T) {
+	b := NewBreaker(2, time.Minute, vclock.NewVirtual(vclock.Epoch))
+	notFound := &HTTPStatusError{Status: 404, Err: errors.New("not-found")}
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal("breaker tripped on 4xx")
+		}
+		b.Record(notFound)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+func TestExecutorRetriesThenSucceeds(t *testing.T) {
+	clock := vclock.NewVirtual(vclock.Epoch)
+	e := NewExecutor(Policy{MaxAttempts: 4, BaseDelay: time.Second, Multiplier: 2}, nil, clock, 1)
+	attempts := 0
+	err := e.Do(context.Background(), func(context.Context) error {
+		attempts++
+		if attempts < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+	// Two backoffs consumed virtual time: 1s + 2s.
+	if got := clock.Now().Sub(vclock.Epoch); got != 3*time.Second {
+		t.Fatalf("virtual backoff = %v, want 3s", got)
+	}
+	st := e.Stats()
+	if st.Attempts != 3 || st.Retries != 2 || st.Failures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExecutorHonoursRetryAfter(t *testing.T) {
+	clock := vclock.NewVirtual(vclock.Epoch)
+	e := NewExecutor(Policy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond}, nil, clock, 1)
+	overloaded := &HTTPStatusError{Status: 503, RetryAfter: 5 * time.Second, Err: errors.New("busy")}
+	attempts := 0
+	e.Do(context.Background(), func(context.Context) error {
+		attempts++
+		if attempts == 1 {
+			return overloaded
+		}
+		return nil
+	})
+	if got := clock.Now().Sub(vclock.Epoch); got != 5*time.Second {
+		t.Fatalf("waited %v, want the 5s Retry-After hint", got)
+	}
+}
+
+func TestExecutorDoesNotRetryApplicationErrors(t *testing.T) {
+	e := NewExecutor(Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}, nil, vclock.NewVirtual(vclock.Epoch), 1)
+	attempts := 0
+	bad := &HTTPStatusError{Status: 409, Err: errors.New("already-rated")}
+	err := e.Do(context.Background(), func(context.Context) error {
+		attempts++
+		return bad
+	})
+	if !errors.Is(err, bad) || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+}
+
+func TestExecutorFastFailsWhenOpen(t *testing.T) {
+	clock := vclock.NewVirtual(vclock.Epoch)
+	b := NewBreaker(2, time.Minute, clock)
+	e := NewExecutor(Policy{MaxAttempts: 1}, b, clock, 1)
+	fail := errors.New("refused")
+	for i := 0; i < 2; i++ {
+		e.Do(context.Background(), func(context.Context) error { return fail })
+	}
+	attempts := 0
+	err := e.Do(context.Background(), func(context.Context) error { attempts++; return nil })
+	if !errors.Is(err, ErrOpen) || attempts != 0 {
+		t.Fatalf("open circuit: err=%v attempts=%d", err, attempts)
+	}
+	if e.Stats().FastFails != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+
+	// Cooldown over: the probe closes the circuit again.
+	clock.Advance(time.Minute)
+	if err := e.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+func TestExecutorStopsOnCancelledParent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := NewExecutor(Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}, nil, vclock.NewVirtual(vclock.Epoch), 1)
+	attempts := 0
+	err := e.Do(ctx, func(context.Context) error {
+		attempts++
+		cancel()
+		return errors.New("transient")
+	})
+	if err == nil || attempts != 1 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+}

@@ -1,0 +1,75 @@
+package resilience
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Policy configures retry with exponential backoff and jitter.
+type Policy struct {
+	// MaxAttempts bounds the total number of attempts, the first one
+	// included; values below 1 mean a single attempt.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff.
+	MaxDelay time.Duration
+	// Multiplier grows the backoff between retries; values at or
+	// below 1 default to 2.
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter·delay, from a
+	// seeded source so schedules stay reproducible. 0 disables.
+	Jitter float64
+	// AttemptTimeout is the per-attempt deadline applied to each
+	// attempt's context; 0 leaves the parent deadline alone. Keep it
+	// zero under a virtual clock — the deadline runs on wall time.
+	AttemptTimeout time.Duration
+}
+
+// DefaultPolicy is the production-shaped retry: four attempts, 100 ms
+// base doubling to a 2 s cap with 20% jitter, 1 s per attempt.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:    4,
+		BaseDelay:      100 * time.Millisecond,
+		MaxDelay:       2 * time.Second,
+		Multiplier:     2,
+		Jitter:         0.2,
+		AttemptTimeout: time.Second,
+	}
+}
+
+// attempts normalises MaxAttempts.
+func (p Policy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the backoff before retry number retry (1-based),
+// drawing jitter from rng when both are set.
+func (p Policy) delay(retry int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	for i := 1; i < retry; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d += d * p.Jitter * (2*rng.Float64() - 1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

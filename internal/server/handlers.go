@@ -26,7 +26,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(wire.PathVendor, s.handleVendor)
 	mux.HandleFunc(wire.PathStats, s.handleStats)
 	s.registerWeb(mux)
-	return mux
+	return s.harden(mux)
 }
 
 // writeXML sends v with a 200 status.

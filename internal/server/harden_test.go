@@ -1,0 +1,140 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"softreputation/internal/repo"
+	"softreputation/internal/wire"
+)
+
+func hardenedServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.Store = repo.OpenMemory()
+	t.Cleanup(func() { cfg.Store.Close() })
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestDrainingAnswers503WithRetryAfter(t *testing.T) {
+	srv := hardenedServer(t, Config{EmailPepper: "p"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.SetDraining(true)
+	resp, err := http.Get(ts.URL + wire.PathStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	var werr wire.ErrorResponse
+	if err := wire.Decode(resp.Body, &werr); err != nil {
+		t.Fatalf("shed body is not a wire error: %v", err)
+	}
+	if werr.Code != wire.CodeUnavailable {
+		t.Fatalf("code = %q, want %q", werr.Code, wire.CodeUnavailable)
+	}
+	if srv.ShedCount() != 1 {
+		t.Fatalf("shed count = %d", srv.ShedCount())
+	}
+
+	// Un-draining restores service.
+	srv.SetDraining(false)
+	resp2, err := http.Get(ts.URL + wire.PathStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain status = %d", resp2.StatusCode)
+	}
+}
+
+func TestMaxInflightSheds(t *testing.T) {
+	srv := hardenedServer(t, Config{EmailPepper: "p", MaxInflight: 1, ShedRetryAfter: 2 * time.Second})
+
+	// Park one request inside the handler chain, then send another.
+	release := make(chan struct{})
+	slow := srv.shedMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(slow)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	// Wait for the first request to occupy the only slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.InflightRequests() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 shed", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q, want 2", resp.Header.Get("Retry-After"))
+	}
+	if !strings.Contains(string(body), wire.CodeUnavailable) {
+		t.Fatalf("body = %q", body)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestRequestTimeoutAnswers503(t *testing.T) {
+	srv := hardenedServer(t, Config{EmailPepper: "p", RequestTimeout: 20 * time.Millisecond})
+	slow := srv.harden(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	}))
+	ts := httptest.NewServer(slow)
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 timeout", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), wire.CodeUnavailable) {
+		t.Fatalf("body = %q", body)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}

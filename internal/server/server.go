@@ -59,6 +59,17 @@ type Config struct {
 	// hashed and in memory only — nothing about them reaches the store,
 	// preserving the §2.2 no-IPs rule.
 	MaxSignupsPerIPPerDay int
+	// RequestTimeout bounds each HTTP request's handler time; expired
+	// requests answer 503 so clients retry elsewhere in time. 0
+	// disables the per-request deadline.
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrently served requests; excess requests
+	// are shed with 503 + Retry-After instead of queueing. 0 disables
+	// the cap.
+	MaxInflight int
+	// ShedRetryAfter is the Retry-After hint attached to shed
+	// responses; 0 defaults to one second.
+	ShedRetryAfter time.Duration
 }
 
 // Server is the reputation server. It is safe for concurrent use.
@@ -70,6 +81,11 @@ type Server struct {
 	captcha     *identity.CaptchaGate
 	mailer      Mailer
 	cfg         Config
+
+	// Hardening state, manipulated atomically (see harden.go).
+	draining int32
+	inflight int64
+	shed     int64
 
 	mu        sync.Mutex
 	sessions  map[string]string // session token -> username

@@ -1,0 +1,99 @@
+package simulation
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChaosAcceptance is the E17 acceptance check: with the fault
+// injector simulating a 100% outage, a warm-cache host keeps making
+// execution decisions without a single user prompt (stale-serve), the
+// breaker opens after the configured threshold, and the table compares
+// the three client builds.
+func TestChaosAcceptance(t *testing.T) {
+	res, err := RunChaos(QuickChaosConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 3 profiles × 3 mechanisms", len(res.Rows))
+	}
+
+	rows := make(map[string]ChaosRow)
+	for _, r := range res.Rows {
+		rows[r.Profile+"/"+r.Mechanism] = r
+	}
+
+	full, ok := rows["partition (100% outage)/retry+breaker+cache"]
+	if !ok {
+		t.Fatalf("missing full-build partition row; have %v", res.Rows)
+	}
+	if full.Prompts != 0 {
+		t.Errorf("full build prompted %d times during the partition, want 0", full.Prompts)
+	}
+	if full.StaleServes == 0 {
+		t.Error("full build served no stale reports during the partition")
+	}
+	if full.BreakerOpens < 1 {
+		t.Errorf("breaker opens = %d, want >= 1", full.BreakerOpens)
+	}
+	if full.Decisions == 0 {
+		t.Error("full build made no decisions")
+	}
+
+	none := rows["partition (100% outage)/none"]
+	if none.Prompts == 0 {
+		t.Error("no-resilience build should prompt during the partition")
+	}
+	if none.AvgLatency < full.AvgLatency {
+		t.Errorf("no-resilience latency %v should exceed full-build latency %v",
+			none.AvgLatency, full.AvgLatency)
+	}
+
+	// The breaker also caps load: once open, no requests leave the host.
+	retryOnly := rows["partition (100% outage)/retry"]
+	if retryOnly.ServerRequests <= full.ServerRequests {
+		t.Errorf("retry-only issued %d requests, full build %d — breaker should shed load",
+			retryOnly.ServerRequests, full.ServerRequests)
+	}
+
+	out := res.String()
+	for _, want := range []string{"E17", "retry+breaker+cache", "partition", "prompt rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChaosDeterminism replays the same seed and expects identical
+// tables: the whole fault plan runs on virtual time.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := QuickChaosConfig(11)
+	cfg.Programs, cfg.Users, cfg.VotesPerAgent, cfg.HostPrograms = 40, 20, 15, 10
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic chaos run:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestChaosRunsFast guards the virtual-time property: a multi-hour
+// outage grid must replay in wall-clock seconds.
+func TestChaosRunsFast(t *testing.T) {
+	start := time.Now()
+	cfg := QuickChaosConfig(3)
+	cfg.Programs, cfg.Users, cfg.VotesPerAgent, cfg.HostPrograms = 40, 20, 15, 10
+	if _, err := RunChaos(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("chaos grid took %v of wall time", elapsed)
+	}
+}

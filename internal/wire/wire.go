@@ -47,6 +47,7 @@ const (
 	CodeSelfRemark    = "self-remark"
 	CodeNotFound      = "not-found"
 	CodeRateLimited   = "rate-limited"
+	CodeUnavailable   = "unavailable"
 	CodeInternal      = "internal"
 )
 

@@ -32,10 +32,13 @@
 package softreputation
 
 import (
+	"time"
+
 	"softreputation/internal/client"
 	"softreputation/internal/core"
 	"softreputation/internal/policy"
 	"softreputation/internal/repo"
+	"softreputation/internal/resilience"
 	"softreputation/internal/server"
 	"softreputation/internal/signature"
 	"softreputation/internal/storedb"
@@ -99,7 +102,47 @@ type (
 	PrompterFuncs = client.PrompterFuncs
 	// RegisterRequest is the wire-level registration message.
 	RegisterRequest = wire.RegisterRequest
+	// FailurePolicy picks the degraded-mode decision when a lookup
+	// fails with no cached report: prompt, fail-open or fail-closed.
+	FailurePolicy = client.FailurePolicy
 )
+
+// Degraded-mode failure policies.
+const (
+	// FailPrompt asks the user over an empty report (the default).
+	FailPrompt = client.FailPrompt
+	// FailOpen allows silently during an outage.
+	FailOpen = client.FailOpen
+	// FailClosed denies silently — critical processes excepted.
+	FailClosed = client.FailClosed
+)
+
+// Resilience types for the client↔server path.
+type (
+	// RetryPolicy is the exponential-backoff retry configuration.
+	RetryPolicy = resilience.Policy
+	// CircuitBreaker is a closed/open/half-open breaker.
+	CircuitBreaker = resilience.Breaker
+	// ResilienceExecutor composes retries and a breaker around calls.
+	ResilienceExecutor = resilience.Executor
+	// HTTPStatusError is a non-2xx server answer with retry metadata.
+	HTTPStatusError = resilience.HTTPStatusError
+)
+
+// NewCircuitBreaker creates a breaker that opens after threshold
+// consecutive transient failures and probes again cooldown later.
+func NewCircuitBreaker(threshold int, cooldown time.Duration, clock Clock) *CircuitBreaker {
+	return resilience.NewBreaker(threshold, cooldown, clock)
+}
+
+// NewResilienceExecutor composes a retry policy and an optional breaker;
+// install it with API.WithResilience.
+func NewResilienceExecutor(retry RetryPolicy, breaker *CircuitBreaker, clock Clock, seed int64) *ResilienceExecutor {
+	return resilience.NewExecutor(retry, breaker, clock, seed)
+}
+
+// DefaultRetryPolicy returns the stock retry configuration.
+func DefaultRetryPolicy() RetryPolicy { return resilience.DefaultPolicy() }
 
 // Policy and signing.
 type (
