@@ -351,6 +351,25 @@ func BenchmarkE17Chaos(b *testing.B) {
 	}
 }
 
+// BenchmarkE18Replication runs the replicated-tier failover drill:
+// fresh-lookup availability through a replica partition and a primary
+// kill with promotion, against the single-server baseline, plus the
+// durability headline (acked ratings lost).
+func BenchmarkE18Replication(b *testing.B) {
+	var res simulation.ReplicationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunReplication(simulation.QuickReplicationConfig(18))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Availability*100, "availability-pct")
+	b.ReportMetric(res.BaselineAvailability*100, "baseline-availability-pct")
+	b.ReportMetric(float64(res.LostVotes), "acked-ratings-lost")
+	b.ReportMetric(float64(res.Resumes), "partition-resumes")
+}
+
 // BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
 // throughput into the embedded store through the full repository path.
 func BenchmarkE14StoredbIngest(b *testing.B) {

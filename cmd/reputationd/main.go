@@ -8,6 +8,8 @@
 // Usage:
 //
 //	reputationd -addr :8080 -data ./data -pepper "a long secret"
+//	reputationd -addr :8081 -data ./replica -pepper "a long secret" \
+//	    -role replica -primary http://primary:8080
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"softreputation/internal/replication"
 	"softreputation/internal/repo"
 	"softreputation/internal/server"
 	"softreputation/internal/storedb"
@@ -49,10 +52,25 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline (0 disables)")
 	maxInflight := flag.Int("max-inflight", 256, "concurrent request cap before shedding 503s (0 = uncapped)")
 	grace := flag.Duration("grace", 10*time.Second, "drain window for in-flight requests at shutdown")
+	role := flag.String("role", "primary", "replication role: primary or replica")
+	primaryURL := flag.String("primary", "", "primary base URL (required with -role replica)")
+	replicaID := flag.String("replica-id", "", "identifier reported to the primary's /replstatus (defaults to the listen address)")
+	replPoll := flag.Duration("repl-poll", time.Second, "how often a replica polls the primary's WAL")
 	flag.Parse()
 
 	if *pepper == "" {
 		log.Fatal("reputationd: -pepper is required; the e-mail hash is only private while the secret string is")
+	}
+	isReplica := false
+	switch *role {
+	case "primary":
+	case "replica":
+		isReplica = true
+		if *primaryURL == "" {
+			log.Fatal("reputationd: -role replica requires -primary")
+		}
+	default:
+		log.Fatalf("reputationd: unknown -role %q (want primary or replica)", *role)
 	}
 
 	store, err := repo.Open(storedb.Options{Dir: *dataDir, SyncWrites: *sync})
@@ -61,7 +79,7 @@ func main() {
 	}
 	defer store.Close()
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Store:                 store,
 		EmailPepper:           *pepper,
 		RequireCaptcha:        *captcha,
@@ -73,7 +91,23 @@ func main() {
 		RequestTimeout:        *reqTimeout,
 		MaxInflight:           *maxInflight,
 		Mailer:                stdoutMailer{},
-	})
+	}
+	var repl *replication.Replica
+	if isReplica {
+		id := *replicaID
+		if id == "" {
+			id = *addr
+		}
+		repl = &replication.Replica{DB: store.DB(), Primary: *primaryURL, ID: id}
+		scfg.Replica = true
+		scfg.PrimaryURL = *primaryURL
+		scfg.ReplicaSource = repl
+	} else {
+		pub := replication.NewPublisher(store.DB())
+		scfg.Publisher = pub
+		scfg.ReplicaTracker = pub
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		log.Fatalf("reputationd: %v", err)
 	}
@@ -81,24 +115,30 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// The 24-hour aggregation job: the schedule itself lives in the
-	// store, so the ticker only needs to poll it.
-	go func() {
-		ticker := time.NewTicker(*aggEvery)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-ticker.C:
-				if ran, err := srv.MaybeAggregate(); err != nil {
-					log.Printf("reputationd: aggregation: %v", err)
-				} else if ran {
-					log.Printf("reputationd: aggregation run complete")
+	if isReplica {
+		// The replication tail. Replicas do not run the aggregation job:
+		// published scores arrive through the WAL like everything else.
+		go repl.Run(ctx, *replPoll)
+	} else {
+		// The 24-hour aggregation job: the schedule itself lives in the
+		// store, so the ticker only needs to poll it.
+		go func() {
+			ticker := time.NewTicker(*aggEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if ran, err := srv.MaybeAggregate(); err != nil {
+						log.Printf("reputationd: aggregation: %v", err)
+					} else if ran {
+						log.Printf("reputationd: aggregation run complete")
+					}
 				}
 			}
-		}
-	}()
+		}()
+	}
 
 	// Socket-level timeouts guard against slow-loris peers; the
 	// per-handler deadline lives in server.Config.RequestTimeout.
@@ -127,8 +167,8 @@ func main() {
 	}()
 
 	st, _ := store.Stats()
-	fmt.Printf("reputationd: serving on %s (data %s: %d users, %d software, %d ratings)\n",
-		*addr, *dataDir, st.Users, st.Software, st.Ratings)
+	fmt.Printf("reputationd: serving on %s as %s (data %s: %d users, %d software, %d ratings)\n",
+		*addr, *role, *dataDir, st.Users, st.Software, st.Ratings)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("reputationd: %v", err)
 	}

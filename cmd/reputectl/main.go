@@ -11,6 +11,10 @@
 //	reputectl -data ./data software <hex id>
 //	reputectl -data ./data user <name>
 //	reputectl -data ./data top 20
+//	reputectl health http://localhost:8080
+//
+// health is the one online command: it queries a running server's
+// /healthz and /replstatus endpoints instead of opening the store.
 //
 // Bootstrap CSV columns: filename,vendor,version,size,score,votes,behaviors
 // (behaviors is the comma-free "|"-separated flag list, e.g.
@@ -22,15 +26,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"softreputation/internal/core"
 	"softreputation/internal/repo"
 	"softreputation/internal/server"
 	"softreputation/internal/storedb"
+	"softreputation/internal/wire"
 )
 
 func main() {
@@ -38,7 +45,17 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id>")
+		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | health <url>")
+	}
+
+	// health talks to a running server over HTTP, so it must not open
+	// the (single-process) store.
+	if args[0] == "health" {
+		if len(args) < 2 {
+			log.Fatal("reputectl: health needs a server base URL")
+		}
+		cmdHealth(args[1])
+		return
 	}
 
 	store, err := repo.Open(storedb.Options{Dir: *dataDir})
@@ -253,4 +270,53 @@ func cmdTop(store *repo.Store, n int) {
 	for i, r := range rows {
 		fmt.Printf("%3d. %-40s %5.2f (%d votes)\n", i+1, r.name, r.score, r.votes)
 	}
+}
+
+// cmdHealth queries a running server's /healthz and /replstatus and
+// prints the tier's state: role, sequence position, lag, and — on a
+// primary — every known replica's progress.
+func cmdHealth(base string) {
+	base = strings.TrimRight(base, "/")
+	cl := &http.Client{Timeout: 5 * time.Second}
+
+	var h wire.HealthzResponse
+	if err := fetchXML(cl, base+wire.PathHealthz, &h); err != nil {
+		log.Fatalf("reputectl: healthz: %v", err)
+	}
+	fmt.Printf("role:      %s\n", h.Role)
+	if h.Primary != "" {
+		fmt.Printf("primary:   %s\n", h.Primary)
+	}
+	fmt.Printf("seq:       %d\n", h.Seq)
+	fmt.Printf("lag:       %d\n", h.Lag)
+	fmt.Printf("draining:  %v\n", h.Draining)
+	fmt.Printf("inflight:  %d\n", h.Inflight)
+
+	var rs wire.ReplStatusResponse
+	if err := fetchXML(cl, base+wire.PathReplStatus, &rs); err != nil {
+		log.Fatalf("reputectl: replstatus: %v", err)
+	}
+	fmt.Printf("snap-seq:  %d\n", rs.SnapSeq)
+	if len(rs.Replicas) == 0 {
+		fmt.Println("replicas:  none tracked")
+		return
+	}
+	fmt.Println("replicas:")
+	for _, r := range rs.Replicas {
+		fmt.Printf("  %-20s ack-seq %-8d lag %-6d snapshots %-3d last poll %s\n",
+			r.ID, r.AckSeq, r.Lag, r.Snapshots, r.LastPoll)
+	}
+}
+
+// fetchXML GETs url and decodes the XML document into out.
+func fetchXML(cl *http.Client, url string, out interface{}) error {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("http %s", resp.Status)
+	}
+	return wire.Decode(resp.Body, out)
 }

@@ -161,6 +161,13 @@ func experiments() []experiment {
 			}
 			return simulation.RunChaos(cfg)
 		}},
+		{"e18", "E18: replication — availability and durability over a replicated tier", func(seed int64, quick bool) (fmt.Stringer, error) {
+			cfg := simulation.DefaultReplicationConfig(seed)
+			if quick {
+				cfg = simulation.QuickReplicationConfig(seed)
+			}
+			return simulation.RunReplication(cfg)
+		}},
 	}
 }
 
@@ -189,6 +196,9 @@ func main() {
 	// Named aliases for memorable invocations.
 	if want["chaos"] {
 		want["e17"] = true
+	}
+	if want["replication"] {
+		want["e18"] = true
 	}
 
 	matched := 0

@@ -30,9 +30,10 @@ const maxResponseBytes = 1 << 20
 // concurrent use. Every method takes a context; cancelling it aborts
 // the in-flight request and any pending retries.
 type API struct {
-	base string
-	http *http.Client
-	exec *resilience.Executor
+	base     string
+	http     *http.Client
+	exec     *resilience.Executor
+	failover *Failover
 }
 
 // NewAPI creates an API client for the server at baseURL. A nil
@@ -45,6 +46,24 @@ func NewAPI(baseURL string, httpClient *http.Client) *API {
 	}
 	return &API{base: baseURL, http: httpClient}
 }
+
+// NewFailoverAPI creates an API client over a replicated server tier:
+// reads are served by whichever endpoint answers (replicas included),
+// writes follow the primary — by redirect document or health probe.
+// The endpoint list order is the initial preference; the first entry is
+// the presumed primary.
+func NewFailoverAPI(endpoints []string, httpClient *http.Client) *API {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	a := &API{base: endpoints[0], http: httpClient}
+	a.failover = newFailover(a, endpoints)
+	return a
+}
+
+// Failover returns the endpoint selector, nil for single-endpoint
+// clients.
+func (a *API) Failover() *Failover { return a.failover }
 
 // WithResilience wraps every call in the executor's retry policy and
 // circuit breaker, returning the API for chaining. A nil executor
@@ -65,19 +84,20 @@ func (a *API) do(ctx context.Context, fn func(ctx context.Context) error) error 
 	return fn(ctx)
 }
 
-// roundTrip performs one HTTP exchange: body is posted when non-nil
-// (GET otherwise), the response is decoded into resp when non-nil.
-// Non-2xx statuses come back as *resilience.HTTPStatusError wrapping
-// the decoded wire error, so retry logic can classify by status while
-// errors.As still reaches the *wire.ErrorResponse underneath.
-func (a *API) roundTrip(ctx context.Context, path string, body []byte, resp interface{}) error {
+// roundTrip performs one HTTP exchange against base: body is posted
+// when non-nil (GET otherwise), the response is decoded into resp when
+// non-nil. Non-2xx statuses come back as *resilience.HTTPStatusError
+// wrapping the decoded wire error, so retry logic can classify by
+// status while errors.As still reaches the *wire.ErrorResponse
+// underneath.
+func (a *API) roundTrip(ctx context.Context, base, path string, body []byte, resp interface{}) error {
 	method := http.MethodGet
 	var rd io.Reader
 	if body != nil {
 		method = http.MethodPost
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, a.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
 	}
@@ -112,24 +132,61 @@ func (a *API) roundTrip(ctx context.Context, path string, body []byte, resp inte
 	return nil
 }
 
-// call POSTs req as XML to path and decodes the response into resp,
-// retrying under the installed resilience policy.
-func (a *API) call(ctx context.Context, path string, req, resp interface{}) error {
-	var buf bytes.Buffer
-	if err := wire.Encode(&buf, req); err != nil {
-		return err
-	}
-	body := buf.Bytes()
+// exchange runs one logical API call under the resilience executor.
+// write selects the endpoint discipline: writes must land on the
+// primary (redirects are followed, health is probed), while reads are
+// happily served by any endpoint, replicas included.
+func (a *API) exchange(ctx context.Context, write bool, path string, body []byte, resp interface{}) error {
 	return a.do(ctx, func(ctx context.Context) error {
-		return a.roundTrip(ctx, path, body, resp)
+		if a.failover == nil {
+			return a.roundTrip(ctx, a.base, path, body, resp)
+		}
+		return a.failover.attempt(ctx, write, func(base string) error {
+			return a.roundTrip(ctx, base, path, body, resp)
+		})
 	})
 }
 
-// get fetches one of the read-only endpoints.
+func encodeReq(req interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf, req); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// call POSTs req as XML to path and decodes the response into resp,
+// retrying under the installed resilience policy. Write discipline:
+// the request mutates server state (or per-server session state) and
+// must reach the primary.
+func (a *API) call(ctx context.Context, path string, req, resp interface{}) error {
+	body, err := encodeReq(req)
+	if err != nil {
+		return err
+	}
+	return a.exchange(ctx, true, path, body, resp)
+}
+
+// callRead is call for read-only POST endpoints (lookup, vendor): any
+// endpoint may answer, so reads survive a dead primary.
+func (a *API) callRead(ctx context.Context, path string, req, resp interface{}) error {
+	body, err := encodeReq(req)
+	if err != nil {
+		return err
+	}
+	return a.exchange(ctx, false, path, body, resp)
+}
+
+// get fetches one of the read-only GET endpoints.
 func (a *API) get(ctx context.Context, path string, resp interface{}) error {
-	return a.do(ctx, func(ctx context.Context) error {
-		return a.roundTrip(ctx, path, nil, resp)
-	})
+	return a.exchange(ctx, false, path, nil, resp)
+}
+
+// getPrimary fetches a GET endpoint whose state lives on the primary
+// (the registration challenge: its nonces must be redeemed where they
+// were minted).
+func (a *API) getPrimary(ctx context.Context, path string, resp interface{}) error {
+	return a.exchange(ctx, true, path, nil, resp)
 }
 
 // parseRetryAfter reads a Retry-After header's delay-seconds form.
@@ -147,7 +204,7 @@ func parseRetryAfter(v string) time.Duration {
 // Challenge fetches the registration challenge.
 func (a *API) Challenge(ctx context.Context) (wire.ChallengeResponse, error) {
 	var out wire.ChallengeResponse
-	if err := a.get(ctx, wire.PathChallenge, &out); err != nil {
+	if err := a.getPrimary(ctx, wire.PathChallenge, &out); err != nil {
 		return out, err
 	}
 	return out, nil
@@ -221,7 +278,7 @@ func metaToWire(meta core.SoftwareMeta) wire.SoftwareInfo {
 func (a *API) Lookup(ctx context.Context, meta core.SoftwareMeta, feeds ...string) (Report, error) {
 	var resp wire.LookupResponse
 	req := wire.LookupRequest{Software: metaToWire(meta), Feeds: feeds}
-	if err := a.call(ctx, wire.PathLookup, req, &resp); err != nil {
+	if err := a.callRead(ctx, wire.PathLookup, req, &resp); err != nil {
 		return Report{}, err
 	}
 	behaviors, err := core.ParseBehavior(resp.Behaviors)
@@ -287,7 +344,7 @@ func (a *API) Remark(ctx context.Context, session string, commentID uint64, posi
 // Vendor fetches a vendor's derived rating.
 func (a *API) Vendor(ctx context.Context, name string) (wire.VendorResponse, error) {
 	var resp wire.VendorResponse
-	err := a.call(ctx, wire.PathVendor, wire.VendorRequest{Vendor: name}, &resp)
+	err := a.callRead(ctx, wire.PathVendor, wire.VendorRequest{Vendor: name}, &resp)
 	return resp, err
 }
 
@@ -295,5 +352,16 @@ func (a *API) Vendor(ctx context.Context, name string) (wire.VendorResponse, err
 func (a *API) Stats(ctx context.Context) (wire.StatsResponse, error) {
 	var resp wire.StatsResponse
 	err := a.get(ctx, wire.PathStats, &resp)
+	return resp, err
+}
+
+// Healthz fetches an endpoint's health document directly (no failover
+// sweep, no retries): health is a question about one server.
+func (a *API) Healthz(ctx context.Context, base string) (wire.HealthzResponse, error) {
+	if base == "" {
+		base = a.base
+	}
+	var resp wire.HealthzResponse
+	err := a.roundTrip(ctx, base, wire.PathHealthz, nil, &resp)
 	return resp, err
 }

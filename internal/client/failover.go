@@ -1,0 +1,237 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"softreputation/internal/resilience"
+	"softreputation/internal/wire"
+)
+
+// Failover routes API calls across a replicated server tier. One
+// logical call becomes a sweep over candidate endpoints inside a single
+// resilience-executor attempt, so switching servers costs no backoff:
+//
+//   - Reads try the last endpoint that answered first, then the rest in
+//     configured order. A replica serving slightly stale state beats no
+//     answer at all — the paper's fresh-lookup availability goal.
+//   - Writes try the believed primary first. A replica answers a write
+//     with the redirect document naming the primary; the sweep follows
+//     it. When every endpoint refuses (the primary just died), the
+//     sweep probes /healthz looking for a freshly promoted primary
+//     before giving up.
+//
+// Endpoint-level failures (transport errors, 5xx, shedding 429) move
+// the sweep along; authoritative application answers (bad credentials,
+// not found, already rated) return immediately — another server would
+// say the same thing.
+type Failover struct {
+	api       *API
+	endpoints []string
+
+	mu       sync.Mutex
+	primary  string // believed write endpoint
+	prefRead string // last endpoint that served a read
+	stats    FailoverStats
+}
+
+// FailoverStats counts the selector's decisions.
+type FailoverStats struct {
+	// ReadFailovers is how many reads were answered by an endpoint other
+	// than the first candidate tried.
+	ReadFailovers uint64
+	// RedirectsFollowed counts redirect documents obeyed on writes.
+	RedirectsFollowed uint64
+	// HealthProbes counts /healthz sweeps hunting for a primary.
+	HealthProbes uint64
+	// PrimarySwitches counts changes of the believed primary.
+	PrimarySwitches uint64
+}
+
+func newFailover(api *API, endpoints []string) *Failover {
+	eps := append([]string(nil), endpoints...)
+	return &Failover{api: api, endpoints: eps, primary: eps[0]}
+}
+
+// Endpoints returns the configured endpoint list.
+func (f *Failover) Endpoints() []string { return append([]string(nil), f.endpoints...) }
+
+// Primary returns the currently believed primary endpoint.
+func (f *Failover) Primary() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.primary
+}
+
+// Stats returns a snapshot of the selector's counters.
+func (f *Failover) Stats() FailoverStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func (f *Failover) setPrimary(base string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if base != "" && base != f.primary {
+		f.primary = base
+		f.stats.PrimarySwitches++
+	}
+}
+
+// candidates returns the sweep order: first, then every other endpoint
+// in configured order.
+func (f *Failover) candidates(first string) []string {
+	out := make([]string, 0, len(f.endpoints))
+	if first != "" {
+		out = append(out, first)
+	}
+	for _, e := range f.endpoints {
+		if e != first {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// endpointFailure reports whether err means "this endpoint cannot
+// serve the request right now" — keep sweeping — as opposed to an
+// authoritative application answer every server would repeat.
+func endpointFailure(err error) bool {
+	var httpErr *resilience.HTTPStatusError
+	if errors.As(err, &httpErr) {
+		return httpErr.Status >= 500 || httpErr.Status == 429
+	}
+	// No HTTP status at all: transport-level failure.
+	return true
+}
+
+// redirectTarget extracts the primary named by a redirect error
+// document, with ok reporting whether err was a redirect at all.
+func redirectTarget(err error) (string, bool) {
+	var werr *wire.ErrorResponse
+	if errors.As(err, &werr) && werr.Code == wire.CodeRedirect {
+		return werr.Primary, true
+	}
+	return "", false
+}
+
+// attempt runs op against candidate endpoints until one serves it.
+// Called inside a resilience-executor attempt: a sweep that fails
+// everywhere surfaces its last endpoint-level error, which the
+// executor's retry policy then classifies as usual.
+func (f *Failover) attempt(ctx context.Context, write bool, op func(base string) error) error {
+	if write {
+		return f.attemptWrite(ctx, op)
+	}
+	return f.attemptRead(op)
+}
+
+func (f *Failover) attemptRead(op func(base string) error) error {
+	f.mu.Lock()
+	first := f.prefRead
+	if first == "" {
+		first = f.endpoints[0]
+	}
+	f.mu.Unlock()
+
+	var lastErr error
+	for i, base := range f.candidates(first) {
+		err := op(base)
+		if err == nil || !endpointFailure(err) {
+			f.mu.Lock()
+			f.prefRead = base
+			if i > 0 {
+				f.stats.ReadFailovers++
+			}
+			f.mu.Unlock()
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+func (f *Failover) attemptWrite(ctx context.Context, op func(base string) error) error {
+	tried := make(map[string]bool)
+	var lastErr error
+
+	var try func(base string) (done bool, err error)
+	try = func(base string) (done bool, err error) {
+		if tried[base] {
+			return false, nil
+		}
+		tried[base] = true
+		err = op(base)
+		if err == nil {
+			f.setPrimary(base)
+			return true, nil
+		}
+		if target, isRedirect := redirectTarget(err); isRedirect {
+			f.mu.Lock()
+			f.stats.RedirectsFollowed++
+			f.mu.Unlock()
+			if target != "" && !tried[target] {
+				f.setPrimary(target)
+				return try(target)
+			}
+			lastErr = err
+			return false, nil
+		}
+		if !endpointFailure(err) {
+			// Authoritative answer: this endpoint IS serving writes.
+			f.setPrimary(base)
+			return true, err
+		}
+		lastErr = err
+		return false, nil
+	}
+
+	for _, base := range f.candidates(f.Primary()) {
+		if done, err := try(base); done {
+			return err
+		}
+	}
+
+	// Every endpoint refused. If the believed primary is gone a replica
+	// may have been promoted since our last look: probe /healthz for a
+	// server calling itself primary and give it one shot.
+	if promoted := f.probeForPrimary(ctx); promoted != "" {
+		if err := op(promoted); err == nil || !endpointFailure(err) {
+			f.setPrimary(promoted)
+			return err
+		} else {
+			lastErr = err
+		}
+	}
+	return lastErr
+}
+
+// probeForPrimary sweeps /healthz across the endpoints and returns the
+// first one reporting the primary role, or "".
+func (f *Failover) probeForPrimary(ctx context.Context) string {
+	f.mu.Lock()
+	f.stats.HealthProbes++
+	f.mu.Unlock()
+	for _, base := range f.endpoints {
+		h, err := f.api.Healthz(ctx, base)
+		if err != nil {
+			continue
+		}
+		if h.Role == wire.RolePrimary && !h.Draining {
+			return base
+		}
+	}
+	return ""
+}
+
+// Probe refreshes the believed primary by sweeping /healthz. Returns
+// the discovered primary endpoint, or "" when none is reachable.
+func (f *Failover) Probe(ctx context.Context) string {
+	base := f.probeForPrimary(ctx)
+	if base != "" {
+		f.setPrimary(base)
+	}
+	return base
+}

@@ -1,0 +1,239 @@
+package replication
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"softreputation/internal/storedb"
+	"softreputation/internal/wire"
+)
+
+// Stats counts what a replica has done since it started.
+type Stats struct {
+	// BatchesApplied is the number of WAL batches applied.
+	BatchesApplied uint64
+	// Pulls is the number of /repl/wal requests issued.
+	Pulls uint64
+	// SnapshotBootstraps counts full snapshot restores (fresh start or
+	// fell behind compaction).
+	SnapshotBootstraps uint64
+	// Resumes counts pulls that continued the stream after an error or
+	// partition without needing a new snapshot.
+	Resumes uint64
+	// CRCFailures counts frames rejected by the checksum.
+	CRCFailures uint64
+	// Errors counts failed pull attempts (network or server errors).
+	Errors uint64
+}
+
+// Replica tails a primary's WAL into a local store. It is pull-based:
+// Sync (or the Run loop) repeatedly asks the primary for batches after
+// the replica's own sequence number, which makes crash/partition
+// recovery trivial — the position to resume from *is* the local store's
+// durable sequence number.
+type Replica struct {
+	// DB is the local store; it should be in replica mode so nothing
+	// else writes to it.
+	DB *storedb.DB
+	// Primary is the primary server's base URL.
+	Primary string
+	// ID identifies this replica to the primary's progress tracking.
+	ID string
+	// Client issues the HTTP requests; nil means http.DefaultClient.
+	// Simulations inject a FaultTransport-backed client.
+	Client *http.Client
+	// MaxBatches caps batches requested per pull; 0 lets the primary
+	// decide.
+	MaxBatches int
+
+	primarySeq atomic.Uint64 // last X-Primary-Seq seen
+
+	batchesApplied     atomic.Uint64
+	pulls              atomic.Uint64
+	snapshotBootstraps atomic.Uint64
+	resumes            atomic.Uint64
+	crcFailures        atomic.Uint64
+	errored            atomic.Uint64
+
+	lastErrored bool // previous pull failed; next success is a resume
+}
+
+func (rep *Replica) client() *http.Client {
+	if rep.Client != nil {
+		return rep.Client
+	}
+	return http.DefaultClient
+}
+
+// Stats returns a snapshot of the replica's counters.
+func (rep *Replica) Stats() Stats {
+	return Stats{
+		BatchesApplied:     rep.batchesApplied.Load(),
+		Pulls:              rep.pulls.Load(),
+		SnapshotBootstraps: rep.snapshotBootstraps.Load(),
+		Resumes:            rep.resumes.Load(),
+		CRCFailures:        rep.crcFailures.Load(),
+		Errors:             rep.errored.Load(),
+	}
+}
+
+// Lag returns how many batches the replica is behind the last primary
+// sequence number it has seen. A partitioned replica's lag freezes at
+// the last observation; it cannot know what it is missing.
+func (rep *Replica) Lag() uint64 {
+	p := rep.primarySeq.Load()
+	s := rep.DB.Seq()
+	if p > s {
+		return p - s
+	}
+	return 0
+}
+
+// Sync pulls until the replica has applied everything the primary had
+// at the time of the last pull. It bootstraps from a snapshot when the
+// primary reports the replica's position compacted away.
+func (rep *Replica) Sync(ctx context.Context) error {
+	for {
+		n, caughtUp, err := rep.pullOnce(ctx)
+		if err != nil {
+			rep.lastErrored = true
+			rep.errored.Add(1)
+			return err
+		}
+		if rep.lastErrored {
+			rep.lastErrored = false
+			rep.resumes.Add(1)
+		}
+		if caughtUp || (n == 0 && rep.Lag() == 0) {
+			return nil
+		}
+	}
+}
+
+// Run keeps the replica in sync, sleeping poll between rounds, until
+// ctx is cancelled. Pull errors are counted and retried on the next
+// round; a dead primary just leaves the replica serving its last state.
+func (rep *Replica) Run(ctx context.Context, poll time.Duration) {
+	for {
+		_ = rep.Sync(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(poll):
+		}
+	}
+}
+
+// pullOnce issues one /repl/wal request from the local sequence number
+// and applies the returned frames. It returns the number of batches
+// applied and whether the reply proves the replica has caught up.
+func (rep *Replica) pullOnce(ctx context.Context) (applied int, caughtUp bool, err error) {
+	rep.pulls.Add(1)
+	from := rep.DB.Seq()
+	u := fmt.Sprintf("%s%s?from=%d&id=%s", rep.Primary, wire.PathReplWAL, from, url.QueryEscape(rep.ID))
+	if rep.MaxBatches > 0 {
+		u += "&max=" + strconv.Itoa(rep.MaxBatches)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := rep.client().Do(req)
+	if err != nil {
+		return 0, false, fmt.Errorf("replication: pull: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	if ps, perr := strconv.ParseUint(resp.Header.Get(HeaderPrimarySeq), 10, 64); perr == nil {
+		rep.primarySeq.Store(ps)
+	}
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Stream of frames; fall through.
+	case http.StatusGone:
+		// Position compacted away: bootstrap from a snapshot, then let
+		// the caller pull again from the restored sequence number.
+		if err := rep.bootstrap(ctx); err != nil {
+			return 0, false, err
+		}
+		return 0, false, nil
+	default:
+		var werr wire.ErrorResponse
+		if derr := wire.Decode(resp.Body, &werr); derr == nil {
+			return 0, false, fmt.Errorf("replication: pull: %w", &werr)
+		}
+		return 0, false, fmt.Errorf("replication: pull: http %d", resp.StatusCode)
+	}
+
+	br := bufio.NewReaderSize(resp.Body, 1<<16)
+	for {
+		payload, ferr := readFrame(br)
+		if ferr == io.EOF {
+			break
+		}
+		if ferr != nil {
+			// A torn or corrupt frame ends this pull; everything already
+			// applied is good, and the next pull resumes after it.
+			if errors.Is(ferr, ErrBadFrame) {
+				rep.crcFailures.Add(1)
+			}
+			return applied, false, ferr
+		}
+		b, derr := storedb.DecodeBatch(payload)
+		if derr != nil {
+			rep.crcFailures.Add(1)
+			return applied, false, fmt.Errorf("replication: decode batch: %w", derr)
+		}
+		if aerr := rep.DB.ApplyBatch(b); aerr != nil {
+			return applied, false, fmt.Errorf("replication: apply batch %d: %w", b.Seq, aerr)
+		}
+		applied++
+		rep.batchesApplied.Add(1)
+	}
+	return applied, rep.DB.Seq() >= rep.primarySeq.Load(), nil
+}
+
+// bootstrap downloads a full snapshot and installs it, replacing the
+// replica's entire state. The snapshot's trailer CRC is verified before
+// anything is installed.
+func (rep *Replica) bootstrap(ctx context.Context) error {
+	u := fmt.Sprintf("%s%s?id=%s", rep.Primary, wire.PathReplSnapshot, url.QueryEscape(rep.ID))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rep.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("replication: snapshot: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replication: snapshot: http %d", resp.StatusCode)
+	}
+	if ps, perr := strconv.ParseUint(resp.Header.Get(HeaderPrimarySeq), 10, 64); perr == nil {
+		rep.primarySeq.Store(ps)
+	}
+	if _, err := rep.DB.RestoreSnapshotFrom(resp.Body); err != nil {
+		if errors.Is(err, storedb.ErrCorrupt) {
+			rep.crcFailures.Add(1)
+		}
+		return fmt.Errorf("replication: install snapshot: %w", err)
+	}
+	rep.snapshotBootstraps.Add(1)
+	return nil
+}

@@ -1,0 +1,309 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"softreputation/internal/storedb"
+	"softreputation/internal/wire"
+)
+
+func newPrimary(t *testing.T, ringSize int) (*storedb.DB, *httptest.Server, *Publisher) {
+	t.Helper()
+	db, err := storedb.Open(storedb.Options{ReplLogBuffer: ringSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	pub := NewPublisher(db)
+	mux := http.NewServeMux()
+	mux.HandleFunc(wire.PathReplSnapshot, pub.ServeSnapshot)
+	mux.HandleFunc(wire.PathReplWAL, pub.ServeWAL)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return db, srv, pub
+}
+
+func newReplicaDB(t *testing.T) *storedb.DB {
+	t.Helper()
+	db, err := storedb.Open(storedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	db.SetReplicaMode(true)
+	return db
+}
+
+func put(t *testing.T, db *storedb.DB, bucket, key, val string) {
+	t.Helper()
+	err := db.Update(func(tx *storedb.Tx) error {
+		return tx.MustBucket(bucket).Put([]byte(key), []byte(val))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func get(t *testing.T, db *storedb.DB, bucket, key string) (string, bool) {
+	t.Helper()
+	var val string
+	var ok bool
+	err := db.View(func(tx *storedb.Tx) error {
+		v, found := tx.MustBucket(bucket).Get([]byte(key))
+		val, ok = string(v), found
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return val, ok
+}
+
+func TestReplicaTailsPrimary(t *testing.T) {
+	primary, srv, pub := newPrimary(t, 64)
+	for i := 0; i < 10; i++ {
+		put(t, primary, "b", fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+
+	rdb := newReplicaDB(t)
+	rep := &Replica{DB: rdb, Primary: srv.URL, ID: "r1"}
+	if err := rep.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rdb.Seq() != primary.Seq() {
+		t.Fatalf("replica seq %d, primary %d", rdb.Seq(), primary.Seq())
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := get(t, rdb, "b", fmt.Sprintf("k%d", i)); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q,%v", i, v, ok)
+		}
+	}
+	if s := rep.Stats(); s.SnapshotBootstraps != 0 {
+		t.Fatalf("unexpected bootstrap: %+v", s)
+	}
+	if rep.Lag() != 0 {
+		t.Fatalf("lag = %d", rep.Lag())
+	}
+
+	// New writes stream incrementally.
+	put(t, primary, "b", "late", "x")
+	if err := rep.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := get(t, rdb, "b", "late"); !ok || v != "x" {
+		t.Fatalf("late = %q,%v", v, ok)
+	}
+
+	// The primary tracked the replica's progress.
+	st := pub.Status()
+	if len(st) != 1 || st[0].ID != "r1" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestReplicaBootstrapsWhenCompacted(t *testing.T) {
+	// Ring of 4: after 20 writes the early batches are gone from memory
+	// and the store has no WAL, so a fresh replica must bootstrap.
+	primary, srv, _ := newPrimary(t, 4)
+	for i := 0; i < 20; i++ {
+		put(t, primary, "b", fmt.Sprintf("k%d", i), "v")
+	}
+
+	rdb := newReplicaDB(t)
+	rep := &Replica{DB: rdb, Primary: srv.URL, ID: "r1"}
+	if err := rep.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Stats(); s.SnapshotBootstraps != 1 {
+		t.Fatalf("bootstraps = %d, want 1; stats %+v", s.SnapshotBootstraps, s)
+	}
+	if rdb.Seq() != primary.Seq() {
+		t.Fatalf("replica seq %d, primary %d", rdb.Seq(), primary.Seq())
+	}
+	if _, ok := get(t, rdb, "b", "k0"); !ok {
+		t.Fatal("k0 missing after bootstrap")
+	}
+}
+
+func TestReplicaResumesWithoutRebootstrap(t *testing.T) {
+	primary, srv, _ := newPrimary(t, 1024)
+	for i := 0; i < 5; i++ {
+		put(t, primary, "b", fmt.Sprintf("k%d", i), "v")
+	}
+
+	rdb := newReplicaDB(t)
+	rep := &Replica{DB: rdb, Primary: srv.URL, ID: "r1"}
+	if err := rep.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition: point the replica at a dead endpoint, write more on
+	// the primary, watch pulls fail.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "partition", http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+	goodURL := rep.Primary
+	rep.Primary = dead.URL
+	for i := 5; i < 12; i++ {
+		put(t, primary, "b", fmt.Sprintf("k%d", i), "v")
+	}
+	if err := rep.Sync(context.Background()); err == nil {
+		t.Fatal("expected pull error during partition")
+	}
+
+	// Heal: the replica resumes from its own sequence number with no
+	// snapshot transfer.
+	rep.Primary = goodURL
+	if err := rep.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Stats()
+	if s.SnapshotBootstraps != 0 {
+		t.Fatalf("re-bootstrap after partition: %+v", s)
+	}
+	if s.Resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", s.Resumes)
+	}
+	if rdb.Seq() != primary.Seq() {
+		t.Fatalf("replica seq %d, primary %d", rdb.Seq(), primary.Seq())
+	}
+}
+
+// corruptingTransport flips one byte at a fixed offset of the response
+// body for matching paths, simulating line corruption beneath TLS or on
+// a broken proxy.
+type corruptingTransport struct {
+	inner  http.RoundTripper
+	path   string
+	offset int
+	hits   int
+}
+
+func (c *corruptingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := c.inner.RoundTrip(req)
+	if err != nil || req.URL.Path != c.path {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if c.offset < len(body) {
+		body[c.offset] ^= 0xFF
+		c.hits++
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+func TestReplicaRejectsCorruptFrames(t *testing.T) {
+	primary, srv, _ := newPrimary(t, 1024)
+	for i := 0; i < 8; i++ {
+		put(t, primary, "b", fmt.Sprintf("k%d", i), "vvvvvvvv")
+	}
+
+	rdb := newReplicaDB(t)
+	// Corrupt a byte inside the second frame's payload: frame one
+	// applies, frame two must be rejected by CRC before it is applied.
+	ct := &corruptingTransport{inner: http.DefaultTransport, path: wire.PathReplWAL, offset: 40}
+	rep := &Replica{DB: rdb, Primary: srv.URL, ID: "r1", Client: &http.Client{Transport: ct}}
+
+	err := rep.Sync(context.Background())
+	if err == nil {
+		t.Fatal("expected CRC failure")
+	}
+	s := rep.Stats()
+	if s.CRCFailures == 0 {
+		t.Fatalf("no CRC failure recorded: %+v", s)
+	}
+	if ct.hits == 0 {
+		t.Fatal("transport never corrupted anything")
+	}
+	// Nothing corrupt was applied: every key present on the replica
+	// matches the primary.
+	for i := 0; i < int(rdb.Seq()); i++ {
+		want, _ := get(t, primary, "b", fmt.Sprintf("k%d", i))
+		got, ok := get(t, rdb, "b", fmt.Sprintf("k%d", i))
+		if !ok || got != want {
+			t.Fatalf("k%d = %q,%v want %q", i, got, ok, want)
+		}
+	}
+
+	// With a clean transport the replica recovers from its last good
+	// position.
+	rep.Client = nil
+	if err := rep.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rdb.Seq() != primary.Seq() {
+		t.Fatalf("replica seq %d, primary %d", rdb.Seq(), primary.Seq())
+	}
+	if rep.Stats().SnapshotBootstraps != 0 {
+		t.Fatal("corruption should not force a snapshot bootstrap")
+	}
+}
+
+func TestSnapshotStreamCorruptionRejected(t *testing.T) {
+	primary, srv, _ := newPrimary(t, 2)
+	for i := 0; i < 10; i++ {
+		put(t, primary, "b", fmt.Sprintf("k%d", i), "v")
+	}
+
+	rdb := newReplicaDB(t)
+	ct := &corruptingTransport{inner: http.DefaultTransport, path: wire.PathReplSnapshot, offset: 25}
+	rep := &Replica{DB: rdb, Primary: srv.URL, ID: "r1", Client: &http.Client{Transport: ct}}
+	if err := rep.Sync(context.Background()); err == nil {
+		t.Fatal("expected snapshot CRC failure")
+	}
+	if rdb.Seq() != 0 || rdb.Len() != 0 {
+		t.Fatalf("corrupt snapshot partially installed: seq %d len %d", rdb.Seq(), rdb.Len())
+	}
+
+	rep.Client = nil
+	if err := rep.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rdb.Seq() != primary.Seq() {
+		t.Fatalf("replica seq %d, primary %d", rdb.Seq(), primary.Seq())
+	}
+}
+
+func TestReplicaModeRefusesLocalWrites(t *testing.T) {
+	rdb := newReplicaDB(t)
+	err := rdb.Update(func(tx *storedb.Tx) error {
+		return tx.MustBucket("b").Put([]byte("k"), []byte("v"))
+	})
+	if err != storedb.ErrReplica {
+		t.Fatalf("err = %v, want ErrReplica", err)
+	}
+	// Promotion clears the gate.
+	rdb.SetReplicaMode(false)
+	put(t, rdb, "b", "k", "v")
+}
+
+func TestPublisherHonorsMaxParameter(t *testing.T) {
+	primary, srv, _ := newPrimary(t, 1024)
+	for i := 0; i < 9; i++ {
+		put(t, primary, "b", fmt.Sprintf("k%d", i), "v")
+	}
+	rdb := newReplicaDB(t)
+	rep := &Replica{DB: rdb, Primary: srv.URL, ID: "r1", MaxBatches: 2}
+	if err := rep.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rdb.Seq() != primary.Seq() {
+		t.Fatalf("replica seq %d, primary %d", rdb.Seq(), primary.Seq())
+	}
+	if p := rep.Stats().Pulls; p < 5 {
+		t.Fatalf("pulls = %d, want >= 5 with max 2 over 9 batches", p)
+	}
+}

@@ -91,6 +91,13 @@ func (s *Store) Close() error { return s.db.Close() }
 // Compact snapshots the underlying database and truncates its log.
 func (s *Store) Compact() error { return s.db.Compact() }
 
+// DB exposes the underlying database for the replication tier, which
+// ships its WAL and manages replica mode directly.
+func (s *Store) DB() *storedb.DB { return s.db }
+
+// Seq returns the database's last committed batch sequence number.
+func (s *Store) Seq() uint64 { return s.db.Seq() }
+
 // Stats summarises the repository for the /stats endpoint and the
 // experiment harness.
 type Stats struct {

@@ -25,6 +25,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(wire.PathRemark, s.handleRemark)
 	mux.HandleFunc(wire.PathVendor, s.handleVendor)
 	mux.HandleFunc(wire.PathStats, s.handleStats)
+	mux.HandleFunc(wire.PathHealthz, s.handleHealthz)
+	mux.HandleFunc(wire.PathReplStatus, s.handleReplStatus)
+	if pub := s.cfg.Publisher; pub != nil {
+		mux.HandleFunc(wire.PathReplSnapshot, pub.ServeSnapshot)
+		mux.HandleFunc(wire.PathReplWAL, pub.ServeWAL)
+	}
 	s.registerWeb(mux)
 	return s.harden(mux)
 }
@@ -95,6 +101,12 @@ func requirePost(w http.ResponseWriter, r *http.Request) bool {
 }
 
 func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
+	// Challenges feed registration, which only the primary accepts, and
+	// their nonces live in this server's memory — a challenge from a
+	// replica could never be redeemed.
+	if s.rejectWriteOnReplica(w) {
+		return
+	}
 	ch, err := s.IssueChallenge()
 	if err != nil {
 		writeError(w, err)
@@ -108,6 +120,9 @@ func (s *Server) handleChallenge(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWriteOnReplica(w) {
+		return
+	}
 	if !requirePost(w, r) {
 		return
 	}
@@ -136,6 +151,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWriteOnReplica(w) {
+		return
+	}
 	if !requirePost(w, r) {
 		return
 	}
@@ -152,6 +170,11 @@ func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	// Sessions are per-server state and exist to authorise writes, so
+	// logins belong on the primary.
+	if s.rejectWriteOnReplica(w) {
+		return
+	}
 	if !requirePost(w, r) {
 		return
 	}
@@ -241,6 +264,9 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWriteOnReplica(w) {
+		return
+	}
 	if !requirePost(w, r) {
 		return
 	}
@@ -267,6 +293,9 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemark(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWriteOnReplica(w) {
+		return
+	}
 	if !requirePost(w, r) {
 		return
 	}

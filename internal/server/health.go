@@ -1,0 +1,136 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+
+	"softreputation/internal/wire"
+)
+
+// Replication roles. A server is either the primary (accepts writes,
+// publishes its WAL) or a replica (serves reads from replicated state,
+// redirects writes to the primary). Role changes at runtime: Promote
+// turns a replica into the primary when the old primary dies.
+
+// ReplicaSource is what the server needs from the replication puller to
+// report freshness: the lag behind the primary.
+type ReplicaSource interface {
+	Lag() uint64
+}
+
+// ReplicaTracker is what the server needs from the replication
+// publisher for /replstatus: per-replica progress.
+type ReplicaTracker interface {
+	Status() []wire.ReplicaStatusInfo
+}
+
+// ReplicationHandlers is implemented by the replication publisher; the
+// server mounts these on /repl/snapshot and /repl/wal when configured
+// as a primary.
+type ReplicationHandlers interface {
+	ServeSnapshot(w http.ResponseWriter, r *http.Request)
+	ServeWAL(w http.ResponseWriter, r *http.Request)
+}
+
+// EnableReplication mounts the WAL-shipping publisher endpoints and
+// wires per-replica progress into /replstatus. It must be called before
+// Handler(); it exists for callers (the simulation world, tests) whose
+// store is created for them, so the publisher cannot be built before
+// the server configuration is assembled.
+func (s *Server) EnableReplication(p ReplicationHandlers, tr ReplicaTracker) {
+	s.cfg.Publisher = p
+	s.cfg.ReplicaTracker = tr
+}
+
+// Role returns the server's current replication role.
+func (s *Server) Role() string {
+	if s.isReplica.Load() {
+		return wire.RoleReplica
+	}
+	return wire.RolePrimary
+}
+
+// IsReplica reports whether the server currently redirects writes.
+func (s *Server) IsReplica() bool { return s.isReplica.Load() }
+
+// PrimaryURL returns the base URL of the server believed to accept
+// writes — empty on the primary itself.
+func (s *Server) PrimaryURL() string {
+	if v, ok := s.primaryURL.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Promote turns a replica into the primary: local writes open up and
+// write requests are accepted. The caller is responsible for making
+// sure the old primary is really gone — two primaries fork history.
+func (s *Server) Promote() {
+	s.isReplica.Store(false)
+	s.primaryURL.Store("")
+	s.store.DB().SetReplicaMode(false)
+}
+
+// rejectWriteOnReplica answers the wire redirect document (HTTP 421)
+// when this server cannot accept the write, and reports whether the
+// handler should stop. 421 is deliberately a non-retryable class: the
+// client must re-aim at the primary, not hammer the replica.
+func (s *Server) rejectWriteOnReplica(w http.ResponseWriter) bool {
+	if !s.isReplica.Load() {
+		return false
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusMisdirectedRequest)
+	_ = wire.Encode(w, &wire.ErrorResponse{
+		Code:    wire.CodeRedirect,
+		Primary: s.PrimaryURL(),
+		Message: "replica does not accept writes; use the primary",
+	})
+	return true
+}
+
+// replLag returns how many batches this server trails the primary; 0 on
+// the primary itself.
+func (s *Server) replLag() uint64 {
+	if src := s.cfg.ReplicaSource; src != nil && s.isReplica.Load() {
+		return src.Lag()
+	}
+	return 0
+}
+
+// handleHealthz answers GET /healthz: role, primary, sequence number,
+// replication lag, drain state, and in-flight count. Clients probe it
+// to pick an endpoint; operators read it via reputectl health.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeXML(w, &wire.HealthzResponse{
+		Role:     s.Role(),
+		Primary:  s.PrimaryURL(),
+		Seq:      s.store.Seq(),
+		Lag:      s.replLag(),
+		Draining: s.Draining(),
+		Inflight: atomic.LoadInt64(&s.inflight),
+	})
+}
+
+// handleReplStatus answers GET /replstatus: this server's replication
+// view — its sequence numbers and, on a primary, every known replica's
+// progress.
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	resp := &wire.ReplStatusResponse{
+		Role:    s.Role(),
+		Seq:     s.store.Seq(),
+		SnapSeq: s.store.DB().SnapSeq(),
+	}
+	if tr := s.cfg.ReplicaTracker; tr != nil {
+		resp.Replicas = tr.Status()
+	}
+	writeXML(w, resp)
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"softreputation/internal/repo"
+	"softreputation/internal/wire"
+)
+
+type fakeReplicaSource struct{ lag uint64 }
+
+func (f fakeReplicaSource) Lag() uint64 { return f.lag }
+
+type fakeTracker struct{ infos []wire.ReplicaStatusInfo }
+
+func (f fakeTracker) Status() []wire.ReplicaStatusInfo { return f.infos }
+
+func TestHealthzPrimary(t *testing.T) {
+	store := repo.OpenMemory()
+	defer store.Close()
+	srv, err := New(Config{Store: store, ReplicaTracker: fakeTracker{infos: []wire.ReplicaStatusInfo{{ID: "r1", AckSeq: 3, Lag: 2}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + wire.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h wire.HealthzResponse
+	if err := wire.Decode(resp.Body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != wire.RolePrimary || h.Lag != 0 || h.Draining {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	st, err := http.Get(ts.URL + wire.PathReplStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var rs wire.ReplStatusResponse
+	if err := wire.Decode(st.Body, &rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Role != wire.RolePrimary || len(rs.Replicas) != 1 || rs.Replicas[0].ID != "r1" {
+		t.Fatalf("replstatus = %+v", rs)
+	}
+}
+
+func TestReplicaRedirectsWritesAndPromotes(t *testing.T) {
+	store := repo.OpenMemory()
+	defer store.Close()
+	srv, err := New(Config{
+		Store:         store,
+		Replica:       true,
+		PrimaryURL:    "http://primary.example",
+		ReplicaSource: fakeReplicaSource{lag: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Healthz reports the replica role and its lag.
+	resp, err := http.Get(ts.URL + wire.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h wire.HealthzResponse
+	err = wire.Decode(resp.Body, &h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Role != wire.RoleReplica || h.Primary != "http://primary.example" || h.Lag != 5 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// A write is answered 421 with the redirect document.
+	body := strings.NewReader(`<login><username>u</username><password>p</password></login>`)
+	wresp, err := http.Post(ts.URL+wire.PathLogin, wire.ContentType, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var werr wire.ErrorResponse
+	err = wire.Decode(wresp.Body, &werr)
+	wresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wresp.StatusCode != http.StatusMisdirectedRequest || werr.Code != wire.CodeRedirect {
+		t.Fatalf("status %d, err %+v", wresp.StatusCode, werr)
+	}
+	if werr.Primary != "http://primary.example" {
+		t.Fatalf("redirect primary = %q", werr.Primary)
+	}
+
+	// Reads still work: lookup is served from replicated state.
+	lresp, err := http.Post(ts.URL+wire.PathLookup, wire.ContentType,
+		strings.NewReader(`<lookup><software><id>`+strings.Repeat("ab", 20)+`</id><file-name>f.exe</file-name><file-size>1</file-size></software></lookup>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusOK {
+		t.Fatalf("replica lookup status = %d", lresp.StatusCode)
+	}
+
+	// The store refuses local writes while in replica mode.
+	if _, err := store.UpsertSoftware(testMeta(9), srv.Now()); err == nil {
+		t.Fatal("replica store accepted a local write")
+	}
+
+	// Promotion flips the role and opens writes.
+	srv.Promote()
+	if srv.Role() != wire.RolePrimary {
+		t.Fatalf("role after promote = %s", srv.Role())
+	}
+	if _, err := store.UpsertSoftware(testMeta(9), srv.Now()); err != nil {
+		t.Fatalf("promoted store write: %v", err)
+	}
+	resp2, err := http.Get(ts.URL + wire.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h2 wire.HealthzResponse
+	err = wire.Decode(resp2.Body, &h2)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Role != wire.RolePrimary || h2.Lag != 0 {
+		t.Fatalf("healthz after promote = %+v", h2)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"softreputation/internal/core"
 	"softreputation/internal/identity"
 	"softreputation/internal/repo"
+	"softreputation/internal/storedb"
 	"softreputation/internal/vclock"
 )
 
@@ -300,6 +301,16 @@ func (s *Server) Lookup(meta core.SoftwareMeta) (Report, error) {
 func (s *Server) LookupWithFeeds(meta core.SoftwareMeta, feeds []string) (Report, error) {
 	var rep Report
 	created, err := s.store.UpsertSoftware(meta, s.clock.Now())
+	if errors.Is(err, storedb.ErrReplica) {
+		// Replicas serve lookups from replicated state but cannot record
+		// first sightings; the primary registers the executable when it
+		// next sees it.
+		_, known, gerr := s.store.GetSoftware(meta.ID)
+		if gerr != nil {
+			return rep, gerr
+		}
+		created, err = !known, nil
+	}
 	if err != nil {
 		return rep, err
 	}

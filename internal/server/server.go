@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softreputation/internal/core"
@@ -70,6 +71,22 @@ type Config struct {
 	// ShedRetryAfter is the Retry-After hint attached to shed
 	// responses; 0 defaults to one second.
 	ShedRetryAfter time.Duration
+	// Replica starts the server in replica role: write requests are
+	// answered with a redirect to PrimaryURL, and the store is put in
+	// replica mode so only replicated batches change it.
+	Replica bool
+	// PrimaryURL is the base URL of the primary, advertised in
+	// redirects and /healthz while in replica role.
+	PrimaryURL string
+	// Publisher, when set, mounts the WAL-shipping endpoints
+	// (/repl/snapshot, /repl/wal) for replicas to pull from.
+	Publisher ReplicationHandlers
+	// ReplicaTracker, when set, feeds per-replica progress into
+	// /replstatus (the publisher implements it).
+	ReplicaTracker ReplicaTracker
+	// ReplicaSource, when set on a replica, reports replication lag for
+	// /healthz (the replication puller implements it).
+	ReplicaSource ReplicaSource
 }
 
 // Server is the reputation server. It is safe for concurrent use.
@@ -86,6 +103,10 @@ type Server struct {
 	draining int32
 	inflight int64
 	shed     int64
+
+	// Replication role state (see health.go). primaryURL holds a string.
+	isReplica  atomic.Bool
+	primaryURL atomic.Value
 
 	mu        sync.Mutex
 	sessions  map[string]string // session token -> username
@@ -126,7 +147,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: load aggregation state: %w", err)
 	}
-	return &Server{
+	srv := &Server{
 		store:       cfg.Store,
 		clock:       cfg.Clock,
 		emailHasher: identity.NewEmailHasher(cfg.EmailPepper),
@@ -141,7 +162,13 @@ func New(cfg Config) (*Server, error) {
 		feeds:       make(map[string]*ExpertFeed),
 		aggSched:    sched,
 		aggPolicy:   policy,
-	}, nil
+	}
+	srv.primaryURL.Store(cfg.PrimaryURL)
+	if cfg.Replica {
+		srv.isReplica.Store(true)
+		cfg.Store.DB().SetReplicaMode(true)
+	}
+	return srv, nil
 }
 
 // Store exposes the repository for admin tooling and experiments.

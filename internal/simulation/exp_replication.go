@@ -1,0 +1,415 @@
+package simulation
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"softreputation/internal/client"
+	"softreputation/internal/replication"
+	"softreputation/internal/repo"
+	"softreputation/internal/resilience"
+	"softreputation/internal/server"
+)
+
+// Experiment E18 — replication: fresh-lookup availability and rating
+// durability over a replicated reputation tier. One primary ships its
+// WAL to pull-based replicas; a failover client spreads reads over the
+// tier and aims writes at the primary. The run walks three phases —
+// healthy, a replica partitioned and healed (resuming by sequence
+// number, no re-bootstrap), and the primary killed with a replica
+// promoted in its place — and compares lookup availability against a
+// single-server client over the same schedule. The durability claim
+// under test: no rating acknowledged to a user is lost across the
+// failover.
+
+// ReplicationConfig sizes E18.
+type ReplicationConfig struct {
+	Seed          int64
+	Programs      int // catalog size
+	Users         int
+	VotesPerAgent int // seed votes before the faults start
+	Replicas      int // replica count (the first one gets partitioned)
+
+	// LookupsPerPhase is how many fresh lookups each phase issues
+	// through both the failover client and the single-server baseline.
+	LookupsPerPhase int
+	// VotesPerPhase is how many additional ratings each fault phase
+	// tries to land (partition phase on the primary, promotion phase on
+	// the new primary).
+	VotesPerPhase int
+}
+
+// DefaultReplicationConfig is the full-scale E18 run.
+func DefaultReplicationConfig(seed int64) ReplicationConfig {
+	return ReplicationConfig{
+		Seed: seed, Programs: 120, Users: 40, VotesPerAgent: 20,
+		Replicas: 2, LookupsPerPhase: 200, VotesPerPhase: 60,
+	}
+}
+
+// QuickReplicationConfig is the reduced-scale E18 run.
+func QuickReplicationConfig(seed int64) ReplicationConfig {
+	return ReplicationConfig{
+		Seed: seed, Programs: 60, Users: 16, VotesPerAgent: 8,
+		Replicas: 2, LookupsPerPhase: 60, VotesPerPhase: 20,
+	}
+}
+
+// ReplicationPhase is one phase row of the E18 table.
+type ReplicationPhase struct {
+	Name string
+	// Lookups / Failed count the failover client's fresh lookups.
+	Lookups int
+	Failed  int
+	// BaselineFailed counts the single-server client's failures over
+	// the same lookups.
+	BaselineFailed int
+	// VotesAcked is how many ratings were acknowledged this phase.
+	VotesAcked int
+}
+
+// ReplicationResult reports E18.
+type ReplicationResult struct {
+	Config ReplicationConfig
+	Phases []ReplicationPhase
+
+	// Availability is the fraction of all fresh lookups the failover
+	// client got answered; BaselineAvailability is the single-server
+	// client's fraction over the identical schedule.
+	Availability         float64
+	BaselineAvailability float64
+
+	// AckedVotes is every rating acknowledged across the run;
+	// StoredVotes is how many ratings the promoted primary's store
+	// holds at the end; LostVotes is the shortfall.
+	AckedVotes  int
+	StoredVotes int
+	LostVotes   int
+
+	// Partitioned-replica counters: the heal must be a resume, not a
+	// re-bootstrap.
+	Resumes            uint64
+	BootstrapsAtStart  uint64
+	BootstrapsAtEnd    uint64
+	PartitionPullFails uint64
+
+	// Failover-client counters.
+	ReadFailovers     uint64
+	RedirectsFollowed uint64
+	PrimarySwitches   uint64
+}
+
+// replTopology is a running replicated deployment: the world's server
+// as primary plus cfg.Replicas WAL-tailing replicas, each behind its
+// own HTTP listener.
+type replTopology struct {
+	world     *World
+	primaryTS *httptest.Server
+
+	replicas   []*replication.Replica
+	replSrvs   []*server.Server
+	replStores []*repo.Store
+	replTS     []*httptest.Server
+}
+
+func (tp *replTopology) close() {
+	for _, ts := range tp.replTS {
+		ts.Close()
+	}
+	for _, st := range tp.replStores {
+		st.Close()
+	}
+	if tp.primaryTS != nil {
+		tp.primaryTS.Close()
+	}
+	tp.world.Close()
+}
+
+func (tp *replTopology) endpoints() []string {
+	eps := []string{tp.primaryTS.URL}
+	for _, ts := range tp.replTS {
+		eps = append(eps, ts.URL)
+	}
+	return eps
+}
+
+// syncAll pulls every replica up to the primary's current sequence,
+// skipping indices listed in except (partitioned replicas whose pull
+// is expected to fail).
+func (tp *replTopology) syncAll(ctx context.Context, except ...int) error {
+	skip := make(map[int]bool)
+	for _, i := range except {
+		skip[i] = true
+	}
+	for i, rep := range tp.replicas {
+		if skip[i] {
+			continue
+		}
+		if err := rep.Sync(ctx); err != nil {
+			return fmt.Errorf("replica %d sync: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// buildReplTopology boots the world, mounts the WAL publisher on its
+// server, and attaches the replicas. Replica 0's pull path goes through
+// a FaultTransport whose partition window is [partFrom, partTo) on the
+// world's virtual clock.
+func buildReplTopology(cfg ReplicationConfig, partFrom, partTo time.Duration) (*replTopology, error) {
+	w, err := NewWorld(WorldConfig{
+		Seed:       cfg.Seed,
+		Catalog:    CatalogConfig{Seed: cfg.Seed, Total: cfg.Programs, LegitFrac: 0.6, GreyFrac: 0.25, Vendors: cfg.Programs / 10},
+		Population: PopulationConfig{Seed: cfg.Seed + 1, Total: cfg.Users, ExpertFrac: 0.3},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tp := &replTopology{world: w}
+
+	pub := replication.NewPublisher(w.Store().DB())
+	pub.Now = w.Clock.Now
+	w.Server.EnableReplication(pub, pub)
+	tp.primaryTS = httptest.NewServer(w.Server.Handler())
+
+	for i := 0; i < cfg.Replicas; i++ {
+		st := repo.OpenMemory()
+		pullClient := http.DefaultClient
+		if i == 0 {
+			pullClient = &http.Client{Transport: &resilience.FaultTransport{
+				Base:  http.DefaultTransport,
+				Clock: w.Clock,
+				Schedule: resilience.Schedule{
+					Start: w.Clock.Now(),
+					Windows: []resilience.Window{
+						{From: partFrom, To: partTo, Mode: resilience.FaultPartition},
+					},
+				},
+			}}
+		}
+		rep := &replication.Replica{
+			DB:      st.DB(),
+			Primary: tp.primaryTS.URL,
+			ID:      fmt.Sprintf("r%d", i),
+			Client:  pullClient,
+		}
+		rsrv, err := server.New(server.Config{
+			Store:         st,
+			Clock:         w.Clock,
+			Replica:       true,
+			PrimaryURL:    tp.primaryTS.URL,
+			ReplicaSource: rep,
+		})
+		if err != nil {
+			st.Close()
+			tp.close()
+			return nil, err
+		}
+		tp.replicas = append(tp.replicas, rep)
+		tp.replSrvs = append(tp.replSrvs, rsrv)
+		tp.replStores = append(tp.replStores, st)
+		tp.replTS = append(tp.replTS, httptest.NewServer(rsrv.Handler()))
+	}
+	return tp, nil
+}
+
+// RunReplication executes E18.
+func RunReplication(cfg ReplicationConfig) (ReplicationResult, error) {
+	res := ReplicationResult{Config: cfg}
+	ctx := context.Background()
+
+	// The partition window for replica 0, in virtual time from topology
+	// start: the heal phase advances the clock past partTo.
+	const partFrom, partTo = time.Hour, 2 * time.Hour
+	tp, err := buildReplTopology(cfg, partFrom, partTo)
+	if err != nil {
+		return res, err
+	}
+	defer tp.close()
+	w := tp.world
+
+	// Seed the database and publish scores, then bring the replicas up
+	// to date. A fresh replica starting from sequence zero bootstraps
+	// from a snapshot when the primary's in-memory batch ring has
+	// already rolled past the beginning of history.
+	acked, err := w.SeedVotes(cfg.VotesPerAgent)
+	if err != nil {
+		return res, err
+	}
+	res.AckedVotes += acked
+	if err := w.Aggregate(); err != nil {
+		return res, err
+	}
+	if err := tp.syncAll(ctx); err != nil {
+		return res, err
+	}
+	res.BootstrapsAtStart = tp.replicas[0].Stats().SnapshotBootstraps
+
+	failover := client.NewFailoverAPI(tp.endpoints(), nil)
+	baseline := client.NewAPI(tp.primaryTS.URL, nil)
+	items := w.Catalog.Items
+
+	// lookups issues the phase's fresh lookups through both clients.
+	lookups := func(ph *ReplicationPhase) {
+		for i := 0; i < cfg.LookupsPerPhase; i++ {
+			meta := MetaOf(items[i%len(items)])
+			ph.Lookups++
+			if _, err := failover.Lookup(ctx, meta); err != nil {
+				ph.Failed++
+			}
+			if _, err := baseline.Lookup(ctx, meta); err != nil {
+				ph.BaselineFailed++
+			}
+		}
+	}
+
+	// Phase 1 — healthy tier.
+	healthy := ReplicationPhase{Name: "healthy"}
+	lookups(&healthy)
+	res.Phases = append(res.Phases, healthy)
+
+	// Phase 2 — replica 0 partitioned. Writes keep landing on the
+	// primary; the healthy replica keeps tailing; lookups keep being
+	// answered. Then the partition heals and the replica must resume
+	// from its own sequence number without a new snapshot.
+	w.Clock.Advance(partFrom + 30*time.Minute)
+	part := ReplicationPhase{Name: "replica partitioned"}
+	part.VotesAcked = tp.votePhase(cfg.VotesPerPhase, nil)
+	res.AckedVotes += part.VotesAcked
+	if err := tp.syncAll(ctx, 0); err != nil {
+		return res, err
+	}
+	if err := tp.replicas[0].Sync(ctx); err == nil {
+		return res, fmt.Errorf("replication: partitioned replica synced through the partition")
+	}
+	lookups(&part)
+	res.Phases = append(res.Phases, part)
+
+	w.Clock.Advance(partTo - partFrom) // past the window: heal
+	if err := tp.replicas[0].Sync(ctx); err != nil {
+		return res, fmt.Errorf("replication: heal: %w", err)
+	}
+	if lag := tp.replicas[0].Lag(); lag != 0 {
+		return res, fmt.Errorf("replication: healed replica still lags %d batches", lag)
+	}
+	res.PartitionPullFails = tp.replicas[0].Stats().Errors
+
+	// Phase 3 — primary killed, replica 0 promoted. Every replica is in
+	// sync at the moment of death, so every acknowledged rating has
+	// already been shipped. Sessions lived in the primary's memory:
+	// agents must log in again, through the failover client, against
+	// the promoted server.
+	if err := tp.syncAll(ctx); err != nil {
+		return res, err
+	}
+	tp.primaryTS.Close()
+	tp.replSrvs[0].Promote()
+
+	promo := ReplicationPhase{Name: "primary killed, replica promoted"}
+	promo.VotesAcked = tp.votePhase(cfg.VotesPerPhase, failover)
+	res.AckedVotes += promo.VotesAcked
+	lookups(&promo)
+	res.Phases = append(res.Phases, promo)
+
+	// Durability audit: aggregate on the promoted primary and count
+	// every stored rating. Anything short of the acknowledged total is
+	// lost history.
+	if err := tp.replSrvs[0].RunAggregation(); err != nil {
+		return res, err
+	}
+	for _, exe := range items {
+		sc, ok, err := tp.replStores[0].GetScore(exe.ID())
+		if err != nil {
+			return res, err
+		}
+		if ok {
+			res.StoredVotes += sc.Votes
+		}
+	}
+	res.LostVotes = res.AckedVotes - res.StoredVotes
+	if res.LostVotes < 0 {
+		res.LostVotes = 0
+	}
+
+	st0 := tp.replicas[0].Stats()
+	res.Resumes = st0.Resumes
+	res.BootstrapsAtEnd = st0.SnapshotBootstraps
+	fst := failover.Failover().Stats()
+	res.ReadFailovers = fst.ReadFailovers
+	res.RedirectsFollowed = fst.RedirectsFollowed
+	res.PrimarySwitches = fst.PrimarySwitches
+
+	total, failed, baseFailed := 0, 0, 0
+	for _, ph := range res.Phases {
+		total += ph.Lookups
+		failed += ph.Failed
+		baseFailed += ph.BaselineFailed
+	}
+	if total > 0 {
+		res.Availability = float64(total-failed) / float64(total)
+		res.BaselineAvailability = float64(total-baseFailed) / float64(total)
+	}
+	return res, nil
+}
+
+// votePhase lands up to want additional ratings. With a nil api the
+// votes go in-process to the primary (its sessions are still alive);
+// otherwise each voter logs in again through the failover client and
+// votes over HTTP — the promoted-primary path. Agents walk the catalog
+// round-robin and simply skip already-rated software.
+func (tp *replTopology) votePhase(want int, api *client.API) int {
+	w := tp.world
+	ctx := context.Background()
+	acked := 0
+	sessions := make(map[string]string)
+	for attempt := 0; attempt < want*6 && acked < want; attempt++ {
+		a := w.Agents[attempt%len(w.Agents)]
+		exe := w.Catalog.Items[(attempt*7)%len(w.Catalog.Items)]
+		score, behaviors := a.Observe(exe)
+		if api == nil {
+			if _, err := w.Server.Vote(a.Session, MetaOf(exe), score, behaviors, ""); err == nil {
+				acked++
+			}
+			continue
+		}
+		session, ok := sessions[a.Name]
+		if !ok {
+			var err error
+			session, err = api.Login(ctx, a.Name, "pw-"+a.Name)
+			if err != nil {
+				continue
+			}
+			sessions[a.Name] = session
+		}
+		if _, err := api.Vote(ctx, session, MetaOf(exe), client.Rating{Score: score, Behaviors: behaviors}); err == nil {
+			acked++
+		}
+	}
+	return acked
+}
+
+// String renders E18.
+func (r ReplicationResult) String() string {
+	var b strings.Builder
+	b.WriteString("E18 — replication: availability and durability over a replicated tier\n")
+	fmt.Fprintf(&b, "topology: 1 primary + %d replicas; replica 0 partitioned then healed; primary killed, replica 0 promoted\n\n", r.Config.Replicas)
+	for _, ph := range r.Phases {
+		fmt.Fprintf(&b, "  %-34s lookups %4d  failover-failed %3d  single-server-failed %3d  votes acked %3d\n",
+			ph.Name, ph.Lookups, ph.Failed, ph.BaselineFailed, ph.VotesAcked)
+	}
+	fmt.Fprintf(&b, "\nfresh-lookup availability: failover client %.4f, single-server baseline %.4f\n",
+		r.Availability, r.BaselineAvailability)
+	fmt.Fprintf(&b, "ratings: acked %d, stored after promotion %d, lost %d\n",
+		r.AckedVotes, r.StoredVotes, r.LostVotes)
+	fmt.Fprintf(&b, "partitioned replica: %d failed pulls, %d resumes, snapshot bootstraps %d -> %d (heal is a resume, not a re-bootstrap)\n",
+		r.PartitionPullFails, r.Resumes, r.BootstrapsAtStart, r.BootstrapsAtEnd)
+	fmt.Fprintf(&b, "failover client: %d read failovers, %d redirects followed, %d primary switches\n",
+		r.ReadFailovers, r.RedirectsFollowed, r.PrimarySwitches)
+	b.WriteString("acked ratings survive the primary's death because replicas were in sync when it died;\n")
+	b.WriteString("the single-server client loses every lookup after the kill, the failover client none.\n")
+	return b.String()
+}

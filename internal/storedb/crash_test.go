@@ -1,0 +1,381 @@
+package storedb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Crash-recovery tests. crashSim drives the testFS hooks to simulate a
+// power loss at any chosen fsync point of a commit or compaction:
+//
+//   - Data written to a file but not yet fsynced vanishes (the file is
+//     truncated back to its last synced size).
+//   - A rename not yet covered by a directory fsync is rolled back: the
+//     file reappears at its old path and the old destination content
+//     returns. A remove in the same window is adversarially treated as
+//     durable — real filesystems may persist independent metadata
+//     updates in any order, which is exactly the hazard the
+//     rename-then-dir-sync ordering exists to close.
+//
+// The main test runs a scripted workload, killing at the 1st, 2nd, 3rd,
+// ... sync point until a run completes untouched, and after every crash
+// verifies the invariant: recovery keeps every acknowledged commit and
+// never resurrects an unacknowledged one.
+
+var errKilled = errors.New("simulated power loss")
+
+type nsEvent struct {
+	kind       string // "rename" or "remove"
+	oldPath    string
+	newPath    string
+	saved      []byte // prior content of the destination (rename) — nil if absent
+	savedOK    bool
+	oldDurable int64 // prior durable size of the destination
+}
+
+type crashSim struct {
+	t       *testing.T
+	dir     string
+	killAt  int // 1-based index of the sync-family call that fails
+	calls   int
+	killed  bool
+	durable map[string]int64
+	pending []nsEvent // namespace ops since the last successful dir sync
+}
+
+func newCrashSim(t *testing.T, dir string, killAt int) *crashSim {
+	return &crashSim{t: t, dir: dir, killAt: killAt, durable: make(map[string]int64)}
+}
+
+// install points the package's fsHooks at the simulator. The caller
+// must arrange restore (defer sim.uninstall()).
+func (s *crashSim) install() {
+	testFS = fsHooks{
+		sync: func(f *os.File, label string) error {
+			if s.tick() {
+				return errKilled
+			}
+			if err := f.Sync(); err != nil {
+				return err
+			}
+			if info, err := f.Stat(); err == nil {
+				s.durable[f.Name()] = info.Size()
+			}
+			return nil
+		},
+		syncDir: func(path string) error {
+			if s.tick() {
+				return errKilled
+			}
+			s.pending = nil // namespace ops are now durable
+			return nil
+		},
+		rename: func(oldpath, newpath string) error {
+			if s.killed {
+				return errKilled
+			}
+			ev := nsEvent{kind: "rename", oldPath: oldpath, newPath: newpath, oldDurable: s.durable[newpath]}
+			if prior, err := os.ReadFile(newpath); err == nil {
+				ev.saved, ev.savedOK = prior, true
+			}
+			if err := os.Rename(oldpath, newpath); err != nil {
+				return err
+			}
+			s.pending = append(s.pending, ev)
+			s.durable[newpath] = s.durable[oldpath]
+			delete(s.durable, oldpath)
+			return nil
+		},
+		remove: func(path string) error {
+			if s.killed {
+				return errKilled
+			}
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			s.pending = append(s.pending, nsEvent{kind: "remove", oldPath: path})
+			delete(s.durable, path)
+			return nil
+		},
+	}
+}
+
+func (s *crashSim) uninstall() { testFS = fsHooks{} }
+
+// tick counts one sync point and reports whether the simulated power
+// loss hits it. After the kill every further operation fails too — the
+// process is dead.
+func (s *crashSim) tick() bool {
+	if s.killed {
+		return true
+	}
+	s.calls++
+	if s.killAt > 0 && s.calls == s.killAt {
+		s.killed = true
+		return true
+	}
+	return false
+}
+
+// powerLoss rewrites the directory to its worst-case post-crash state:
+// pending renames roll back (their dir entry never reached disk) while
+// pending removes stick, then every surviving file is truncated to its
+// last fsynced size.
+func (s *crashSim) powerLoss() {
+	for i := len(s.pending) - 1; i >= 0; i-- {
+		ev := s.pending[i]
+		if ev.kind != "rename" {
+			continue // removes are adversarially durable
+		}
+		if err := os.Rename(ev.newPath, ev.oldPath); err != nil {
+			s.t.Fatalf("rollback rename: %v", err)
+		}
+		s.durable[ev.oldPath] = s.durable[ev.newPath]
+		if ev.savedOK {
+			if err := os.WriteFile(ev.newPath, ev.saved, 0o600); err != nil {
+				s.t.Fatalf("rollback rename content: %v", err)
+			}
+			s.durable[ev.newPath] = ev.oldDurable
+		} else {
+			delete(s.durable, ev.newPath)
+		}
+	}
+	s.pending = nil
+
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(s.dir, e.Name())
+		if err := os.Truncate(path, s.durable[path]); err != nil {
+			s.t.Fatalf("truncate %s: %v", path, err)
+		}
+	}
+}
+
+// TestCrashAtEverySyncPoint kills the process at every fsync point of a
+// commit-heavy workload (including mid-compaction) and checks that
+// recovery preserves exactly the acknowledged commits: nothing acked is
+// lost, nothing unacked is resurrected.
+func TestCrashAtEverySyncPoint(t *testing.T) {
+	const commits = 9
+	for killAt := 1; ; killAt++ {
+		dir := t.TempDir()
+		sim := newCrashSim(t, dir, killAt)
+		sim.install()
+
+		db, err := Open(Options{Dir: dir, SyncWrites: true, CompactEvery: 3, ReplLogBuffer: -1})
+		if err != nil {
+			sim.uninstall()
+			t.Fatalf("killAt=%d: open: %v", killAt, err)
+		}
+
+		acked := map[string]bool{}
+		for i := 0; i < commits; i++ {
+			key := fmt.Sprintf("k%02d", i)
+			err := db.Update(func(tx *Tx) error {
+				return tx.MustBucket("b").Put([]byte(key), []byte("v"))
+			})
+			switch {
+			case err == nil:
+				acked[key] = true
+			case strings.Contains(err.Error(), "auto-compaction"):
+				// The commit itself was durably logged before compaction
+				// started; only the snapshot/truncation died.
+				acked[key] = true
+			}
+			if err != nil {
+				break // the process is dead
+			}
+		}
+		db.Close()
+
+		survived := !sim.killed
+		sim.powerLoss()
+		sim.uninstall()
+
+		// Recover and check the invariant.
+		db2, err := Open(Options{Dir: dir, SyncWrites: true})
+		if err != nil {
+			t.Fatalf("killAt=%d: recovery failed: %v", killAt, err)
+		}
+		err = db2.View(func(tx *Tx) error {
+			b := tx.MustBucket("b")
+			for i := 0; i < commits; i++ {
+				key := fmt.Sprintf("k%02d", i)
+				_, present := b.Get([]byte(key))
+				if acked[key] && !present {
+					t.Errorf("killAt=%d: acked commit %s lost", killAt, key)
+				}
+				if !acked[key] && present {
+					t.Errorf("killAt=%d: unacked commit %s resurrected", killAt, key)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db2.Close()
+
+		if survived {
+			// The workload outran the kill point: every sync point has
+			// been exercised.
+			if killAt < 5 {
+				t.Fatalf("workload hit only %d sync points; test is vacuous", killAt-1)
+			}
+			return
+		}
+	}
+}
+
+// TestSnapshotRenameDurableBeforeWALRemoval is the regression test for
+// the compaction durability bug: the snapshot rename must be made
+// durable (directory fsync) before the WAL it replaces is removed.
+// Otherwise a crash can persist the removal but lose the rename,
+// leaving the old snapshot with no log — every commit since the old
+// snapshot would be lost.
+func TestSnapshotRenameDurableBeforeWALRemoval(t *testing.T) {
+	dir := t.TempDir()
+	var ops []string
+	testFS = fsHooks{
+		sync: func(f *os.File, label string) error {
+			ops = append(ops, "sync:"+label)
+			return f.Sync()
+		},
+		syncDir: func(path string) error {
+			ops = append(ops, "syncdir")
+			return nil
+		},
+		rename: func(oldpath, newpath string) error {
+			ops = append(ops, "rename:"+filepath.Base(newpath))
+			return os.Rename(oldpath, newpath)
+		},
+		remove: func(path string) error {
+			ops = append(ops, "remove:"+filepath.Base(path))
+			return os.Remove(path)
+		},
+	}
+	defer func() { testFS = fsHooks{} }()
+
+	db, err := Open(Options{Dir: dir, SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Update(func(tx *Tx) error {
+		return tx.MustBucket("b").Put([]byte("k"), []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ops = nil
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	idx := func(op string) int {
+		for i, o := range ops {
+			if o == op {
+				return i
+			}
+		}
+		return -1
+	}
+	rename := idx("rename:SNAPSHOT")
+	remove := idx("remove:WAL")
+	if rename < 0 || remove < 0 {
+		t.Fatalf("compaction ops missing rename/remove: %v", ops)
+	}
+	syncBetween := false
+	for i := rename + 1; i < remove; i++ {
+		if ops[i] == "syncdir" {
+			syncBetween = true
+		}
+	}
+	if !syncBetween {
+		t.Fatalf("no directory fsync between snapshot rename and WAL removal: %v", ops)
+	}
+	// And the removal itself must be followed by a directory fsync so
+	// stale batches cannot reappear after the snapshot supersedes them.
+	syncAfter := false
+	for i := remove + 1; i < len(ops); i++ {
+		if ops[i] == "syncdir" {
+			syncAfter = true
+		}
+	}
+	if !syncAfter {
+		t.Fatalf("no directory fsync after WAL removal: %v", ops)
+	}
+}
+
+// TestFailedWALSyncDoesNotResurrect covers the writer-side half of the
+// invariant directly: a commit whose WAL fsync fails is reported as
+// failed, and the batch bytes must not linger where recovery would
+// replay them as committed.
+func TestFailedWALSyncDoesNotResurrect(t *testing.T) {
+	dir := t.TempDir()
+	failNext := false
+	testFS = fsHooks{
+		sync: func(f *os.File, label string) error {
+			if failNext && label == "wal" {
+				failNext = false
+				return errors.New("injected sync failure")
+			}
+			return f.Sync()
+		},
+	}
+	defer func() { testFS = fsHooks{} }()
+
+	db, err := Open(Options{Dir: dir, SyncWrites: true, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(func(tx *Tx) error {
+		return tx.MustBucket("b").Put([]byte("good"), []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failNext = true
+	err = db.Update(func(tx *Tx) error {
+		return tx.MustBucket("b").Put([]byte("bad"), []byte("v"))
+	})
+	if err == nil {
+		t.Fatal("expected sync failure")
+	}
+	// The failed batch must not be visible now...
+	db.View(func(tx *Tx) error {
+		if _, ok := tx.MustBucket("b").Get([]byte("bad")); ok {
+			t.Fatal("failed commit visible in-memory")
+		}
+		return nil
+	})
+	db.Close()
+
+	// ...and must not come back after recovery.
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.View(func(tx *Tx) error {
+		b := tx.MustBucket("b")
+		if _, ok := b.Get([]byte("good")); !ok {
+			t.Fatal("acked commit lost")
+		}
+		if _, ok := b.Get([]byte("bad")); ok {
+			t.Fatal("unacked commit resurrected by recovery")
+		}
+		return nil
+	})
+	if got := db2.Seq(); got != 1 {
+		t.Fatalf("recovered seq = %d, want 1", got)
+	}
+}

@@ -45,9 +45,17 @@ type Options struct {
 	// this many committed batches. Zero selects a default; negative
 	// disables automatic compaction.
 	CompactEvery int
+
+	// ReplLogBuffer sizes the in-memory ring of recent committed batches
+	// kept for replication tailing (Since). Zero selects a default;
+	// negative disables the ring, forcing Since onto the on-disk WAL.
+	ReplLogBuffer int
 }
 
-const defaultCompactEvery = 4096
+const (
+	defaultCompactEvery  = 4096
+	defaultReplLogBuffer = 1024
+)
 
 // DB is an embedded key-value database. It is safe for concurrent use.
 type DB struct {
@@ -57,8 +65,16 @@ type DB struct {
 
 	writeMu sync.Mutex // serialises Update transactions and compaction
 	wal     *walWriter
-	seq     uint64 // last committed batch sequence
-	pending int    // batches since last compaction
+	pending int // batches since last compaction
+
+	seq     atomic.Uint64 // last committed batch sequence
+	snapSeq atomic.Uint64 // sequence covered by the newest snapshot
+
+	replicaMode atomic.Bool // writes refused; changes arrive via ApplyBatch
+
+	replMu  sync.Mutex // guards recent and commitC
+	recent  *batchRing // tail of committed batches for replication
+	commitC chan struct{}
 
 	closed atomic.Bool
 }
@@ -70,7 +86,13 @@ func Open(opts Options) (*DB, error) {
 	if opts.CompactEvery == 0 {
 		opts.CompactEvery = defaultCompactEvery
 	}
+	if opts.ReplLogBuffer == 0 {
+		opts.ReplLogBuffer = defaultReplLogBuffer
+	}
 	db := &DB{opts: opts}
+	if opts.ReplLogBuffer > 0 {
+		db.recent = newBatchRing(opts.ReplLogBuffer)
+	}
 	t := tree{}
 
 	if opts.Dir != "" {
@@ -82,7 +104,8 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 		t = snap
-		db.seq = snapSeq
+		db.seq.Store(snapSeq)
+		db.snapSeq.Store(snapSeq)
 		lastSeq, err := replayWal(db.walPath(), func(b walBatch) error {
 			if b.seq <= snapSeq {
 				return nil // already contained in the snapshot
@@ -95,13 +118,16 @@ func Open(opts Options) (*DB, error) {
 					t, _ = t.Delete(op.key)
 				}
 			}
+			if db.recent != nil {
+				db.recent.push(exportBatch(b))
+			}
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		if lastSeq > db.seq {
-			db.seq = lastSeq
+		if lastSeq > db.seq.Load() {
+			db.seq.Store(lastSeq)
 		}
 		w, err := openWalWriter(db.walPath(), opts.SyncWrites)
 		if err != nil {
@@ -150,10 +176,16 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if db.replicaMode.Load() {
+		return ErrReplica
+	}
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	if db.closed.Load() {
 		return ErrClosed
+	}
+	if db.replicaMode.Load() {
+		return ErrReplica
 	}
 
 	tx := &Tx{db: db, tree: *db.current.Load(), writable: true}
@@ -166,16 +198,16 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 		return nil // read-only use of an Update tx; nothing to commit
 	}
 
-	db.seq++
+	batch := walBatch{seq: db.seq.Load() + 1, ops: tx.ops}
 	if db.wal != nil {
-		batch := walBatch{seq: db.seq, ops: tx.ops}
 		if err := db.wal.append(&batch); err != nil {
-			db.seq--
 			return err
 		}
 	}
 	newTree := tx.tree
 	db.current.Store(&newTree)
+	db.seq.Store(batch.seq)
+	db.noteCommit(batch)
 
 	db.pending++
 	if db.wal != nil && db.opts.CompactEvery > 0 && db.pending >= db.opts.CompactEvery {
@@ -200,14 +232,29 @@ func (db *DB) compactLocked() error {
 	if db.opts.Dir == "" {
 		return nil // in-memory store: nothing to compact
 	}
-	if err := writeSnapshot(db.opts.Dir, *db.current.Load(), db.seq); err != nil {
+	seq := db.seq.Load()
+	if err := writeSnapshot(db.opts.Dir, *db.current.Load(), seq); err != nil {
 		return err
 	}
 	// The snapshot now covers every committed batch; start a fresh log.
-	if err := db.wal.close(); err != nil {
-		return fmt.Errorf("storedb: close wal before truncate: %w", err)
+	if err := db.resetWalLocked(); err != nil {
+		return err
 	}
-	if err := os.Remove(db.walPath()); err != nil && !os.IsNotExist(err) {
+	db.snapSeq.Store(seq)
+	return nil
+}
+
+// resetWalLocked closes and deletes the WAL, opens a fresh log, and
+// syncs the directory so both namespace changes are durable — a crash
+// must not resurrect batches the snapshot already covers. Caller holds
+// writeMu.
+func (db *DB) resetWalLocked() error {
+	if db.wal != nil {
+		if err := db.wal.close(); err != nil {
+			return fmt.Errorf("storedb: close wal before truncate: %w", err)
+		}
+	}
+	if err := fsRemove(db.walPath()); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("storedb: remove wal: %w", err)
 	}
 	w, err := openWalWriter(db.walPath(), db.opts.SyncWrites)
@@ -216,6 +263,9 @@ func (db *DB) compactLocked() error {
 	}
 	db.wal = w
 	db.pending = 0
+	if err := fsSyncDir(db.opts.Dir); err != nil {
+		return fmt.Errorf("storedb: sync dir after wal truncate: %w", err)
+	}
 	return nil
 }
 

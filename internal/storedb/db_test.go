@@ -518,8 +518,8 @@ func TestWalReplaySkipsStaleSeq(t *testing.T) {
 	if db.Len() != 3 {
 		t.Fatalf("Len = %d, want 3 (snapshot 2 keys + 1 replayed batch)", db.Len())
 	}
-	if db.seq != 3 {
-		t.Fatalf("seq = %d, want 3", db.seq)
+	if got := db.Seq(); got != 3 {
+		t.Fatalf("seq = %d, want 3", got)
 	}
 }
 

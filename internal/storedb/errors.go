@@ -24,4 +24,20 @@ var (
 
 	// ErrEmptyKey is returned when an empty key is written.
 	ErrEmptyKey = errors.New("storedb: empty key")
+
+	// ErrCompacted is returned by Since when the requested batches are
+	// older than both the in-memory tail ring and the on-disk WAL —
+	// compaction has folded them into a snapshot, so the caller must
+	// bootstrap from a snapshot stream instead.
+	ErrCompacted = errors.New("storedb: requested batches already compacted")
+
+	// ErrSeqGap is returned by ApplyBatch when the incoming batch does
+	// not directly follow the last applied sequence number — the stream
+	// skipped something, and applying it would silently fork history.
+	ErrSeqGap = errors.New("storedb: replication sequence gap")
+
+	// ErrReplica is returned by Update while the database is in replica
+	// mode: replicas change only by applying the primary's batches, so
+	// local writes are refused rather than silently forking the replica.
+	ErrReplica = errors.New("storedb: database is in replica mode (read-only)")
 )

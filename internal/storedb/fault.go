@@ -1,0 +1,65 @@
+package storedb
+
+import "os"
+
+// Filesystem indirection for the operations durability depends on.
+// Production code always hits the real filesystem; crash-recovery tests
+// install testFS hooks to observe every sync point and to simulate a
+// power loss at any one of them (unsynced bytes vanish, un-fsynced
+// renames and removes roll back). A hook that is set replaces the real
+// operation entirely, so a "kill" hook can both refuse the sync and
+// leave the file exactly as an interrupted kernel would.
+type fsHooks struct {
+	// sync replaces f.Sync(); label is "wal" or "snapshot".
+	sync func(f *os.File, label string) error
+	// syncDir replaces the open+fsync+close of a directory.
+	syncDir func(path string) error
+	// rename replaces os.Rename.
+	rename func(oldpath, newpath string) error
+	// remove replaces os.Remove.
+	remove func(path string) error
+}
+
+// testFS is nil-valued in production; crash tests swap hooks in and
+// restore the zero value before the next test.
+var testFS fsHooks
+
+func fsSync(f *os.File, label string) error {
+	if testFS.sync != nil {
+		return testFS.sync(f, label)
+	}
+	return f.Sync()
+}
+
+// fsSyncDir fsyncs a directory so that metadata operations inside it
+// (renames, removals, newly created files) survive a power loss. A
+// rename is atomic but not durable until the parent directory is
+// synced.
+func fsSyncDir(path string) error {
+	if testFS.syncDir != nil {
+		return testFS.syncDir(path)
+	}
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func fsRename(oldpath, newpath string) error {
+	if testFS.rename != nil {
+		return testFS.rename(oldpath, newpath)
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func fsRemove(path string) error {
+	if testFS.remove != nil {
+		return testFS.remove(path)
+	}
+	return os.Remove(path)
+}

@@ -1,0 +1,355 @@
+package storedb
+
+import (
+	"fmt"
+	"io"
+)
+
+// WAL tailing and export: the primary/replica replication tier ships
+// committed batches between databases. The primary side exports them
+// with Since (from an in-memory ring of recent batches, falling back
+// to the on-disk WAL), signals new commits via CommitSignal, and dumps
+// full snapshot streams with WriteSnapshotTo for replica bootstrap.
+// The replica side applies shipped batches with ApplyBatch (which
+// writes them through the replica's own WAL for durability) and
+// installs bootstrap streams with RestoreSnapshotFrom.
+
+// Op is one key-value operation of an exported batch. Key carries the
+// bucket prefix, exactly as stored.
+type Op struct {
+	// Delete marks a deletion; otherwise the op is a put.
+	Delete bool
+	// Key is the full key, bucket prefix included.
+	Key []byte
+	// Val is the value for puts; nil for deletes.
+	Val []byte
+}
+
+// Batch is one committed transaction in exported form, as shipped to
+// replicas. Seq numbers are contiguous on the primary; a replica
+// applies them strictly in order.
+type Batch struct {
+	// Seq is the batch's commit sequence number.
+	Seq uint64
+	// Ops are the batch's operations in commit order.
+	Ops []Op
+}
+
+func exportBatch(b walBatch) Batch {
+	out := Batch{Seq: b.seq, Ops: make([]Op, len(b.ops))}
+	for i, op := range b.ops {
+		out.Ops[i] = Op{Delete: op.op == opDelete, Key: op.key, Val: op.val}
+	}
+	return out
+}
+
+func importBatch(b Batch) walBatch {
+	out := walBatch{seq: b.Seq, ops: make([]walOp, len(b.Ops))}
+	for i, op := range b.Ops {
+		kind := opPut
+		if op.Delete {
+			kind = opDelete
+		}
+		out.ops[i] = walOp{op: kind, key: op.Key, val: op.Val}
+	}
+	return out
+}
+
+// EncodeBatch serialises a batch into the WAL payload form (sequence
+// number, op count, ops) that replication frames carry on the wire.
+func EncodeBatch(b Batch) []byte {
+	wb := importBatch(b)
+	return wb.encode()
+}
+
+// DecodeBatch parses a WAL payload produced by EncodeBatch. The frame
+// CRC must already have been verified; this checks structure only.
+func DecodeBatch(payload []byte) (Batch, error) {
+	wb, err := decodeWalBatch(payload)
+	if err != nil {
+		return Batch{}, err
+	}
+	return exportBatch(wb), nil
+}
+
+// batchRing is a fixed-capacity ring of the most recent committed
+// batches, kept so replicas can tail an in-memory database (and skip
+// disk reads on a durable one). Guarded by DB.replMu.
+type batchRing struct {
+	buf   []Batch
+	start int // index of the oldest entry
+	n     int
+}
+
+func newBatchRing(capacity int) *batchRing {
+	if capacity <= 0 {
+		return &batchRing{}
+	}
+	return &batchRing{buf: make([]Batch, capacity)}
+}
+
+func (r *batchRing) push(b Batch) {
+	if len(r.buf) == 0 {
+		return
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = b
+		r.n++
+		return
+	}
+	r.buf[r.start] = b
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// oldestSeq returns the sequence number of the oldest retained batch.
+func (r *batchRing) oldestSeq() (uint64, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	return r.buf[r.start].Seq, true
+}
+
+// since calls fn for every retained batch with Seq > from, in order,
+// up to max batches (max <= 0 means all). ok reports whether the ring
+// still covers position from+1; callers only invoke it when batches
+// newer than from exist, so an empty ring always reports false.
+func (r *batchRing) since(from uint64, max int, fn func(Batch) error) (ok bool, err error) {
+	oldest, any := r.oldestSeq()
+	if !any || from+1 < oldest {
+		return false, nil
+	}
+	sent := 0
+	for i := 0; i < r.n; i++ {
+		b := r.buf[(r.start+i)%len(r.buf)]
+		if b.Seq <= from {
+			continue
+		}
+		if max > 0 && sent >= max {
+			break
+		}
+		if err := fn(b); err != nil {
+			return true, err
+		}
+		sent++
+	}
+	return true, nil
+}
+
+// Seq returns the last committed batch sequence number.
+func (db *DB) Seq() uint64 { return db.seq.Load() }
+
+// SnapSeq returns the sequence number covered by the newest snapshot —
+// the compaction floor below which Since cannot serve.
+func (db *DB) SnapSeq() uint64 { return db.snapSeq.Load() }
+
+// ReplicaMode reports whether local writes are refused (SetReplicaMode).
+func (db *DB) ReplicaMode() bool { return db.replicaMode.Load() }
+
+// SetReplicaMode toggles replica mode: while set, Update returns
+// ErrReplica and the database changes only through ApplyBatch and
+// RestoreSnapshotFrom. Promotion clears it.
+func (db *DB) SetReplicaMode(v bool) { db.replicaMode.Store(v) }
+
+// CommitSignal returns a channel that is closed at the next commit
+// (Update or ApplyBatch). Callers re-arm by calling it again; a
+// long-poll replication handler selects on it to stream new batches
+// the moment they exist.
+func (db *DB) CommitSignal() <-chan struct{} {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	if db.commitC == nil {
+		db.commitC = make(chan struct{})
+	}
+	return db.commitC
+}
+
+// noteCommit records a committed batch in the tail ring and wakes
+// CommitSignal waiters. Called with writeMu held.
+func (db *DB) noteCommit(b walBatch) {
+	db.replMu.Lock()
+	if db.recent != nil {
+		db.recent.push(exportBatch(b))
+	}
+	if db.commitC != nil {
+		close(db.commitC)
+		db.commitC = nil
+	}
+	db.replMu.Unlock()
+}
+
+// Since streams committed batches with Seq > from to fn in order, up
+// to max batches (max <= 0 means everything available). It serves from
+// the in-memory tail ring when possible and falls back to scanning the
+// on-disk WAL; if the requested position predates both, it returns
+// ErrCompacted and the caller must bootstrap from a snapshot.
+func (db *DB) Since(from uint64, max int, fn func(Batch) error) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if from >= db.Seq() {
+		return nil // already caught up
+	}
+
+	db.replMu.Lock()
+	ring := db.recent
+	var ok bool
+	var err error
+	if ring != nil {
+		ok, err = ring.since(from, max, fn)
+	}
+	db.replMu.Unlock()
+	if ok {
+		return err
+	}
+
+	// Ring cannot serve the position; fall back to the on-disk WAL.
+	// The WAL only holds batches newer than the last snapshot, so a
+	// position before the snapshot is gone for good.
+	if db.opts.Dir == "" || from < db.snapSeq.Load() {
+		return ErrCompacted
+	}
+	count := 0
+	_, _, err = scanWal(db.walPath(), func(b walBatch) error {
+		if b.seq <= from {
+			return nil
+		}
+		if max > 0 && count >= max {
+			return errScanDone
+		}
+		count++
+		return fn(exportBatch(b))
+	})
+	if err == errScanDone {
+		err = nil
+	}
+	return err
+}
+
+// errScanDone stops a WAL scan early once max batches were emitted.
+var errScanDone = fmt.Errorf("storedb: scan done")
+
+// ApplyBatch applies one batch shipped from the primary. Batches must
+// arrive strictly in order: a batch at or before the current sequence
+// is ignored (idempotent resume), the next sequence is applied and
+// written through the local WAL, and anything further ahead returns
+// ErrSeqGap. ApplyBatch works even in replica mode — it is how a
+// replica changes.
+func (db *DB) ApplyBatch(b Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	cur := db.seq.Load()
+	if b.Seq <= cur {
+		return nil // duplicate delivery during resume
+	}
+	if b.Seq != cur+1 {
+		return fmt.Errorf("%w: got batch %d after %d", ErrSeqGap, b.Seq, cur)
+	}
+
+	wb := importBatch(b)
+	if db.wal != nil {
+		if err := db.wal.append(&wb); err != nil {
+			return err
+		}
+	}
+	t := *db.current.Load()
+	for _, op := range wb.ops {
+		switch op.op {
+		case opPut:
+			t = t.Put(op.key, op.val)
+		case opDelete:
+			t, _ = t.Delete(op.key)
+		}
+	}
+	db.current.Store(&t)
+	db.seq.Store(b.Seq)
+	db.noteCommit(wb)
+
+	db.pending++
+	if db.wal != nil && db.opts.CompactEvery > 0 && db.pending >= db.opts.CompactEvery {
+		if err := db.compactLocked(); err != nil {
+			return fmt.Errorf("storedb: auto-compaction: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteSnapshotTo streams a consistent snapshot of the current state
+// to w in the snapshot file layout (CRC trailer included) and returns
+// the sequence number it covers. The snapshot is taken atomically but
+// encoding happens outside the write lock: writers keep committing
+// while the dump streams.
+func (db *DB) WriteSnapshotTo(w io.Writer) (uint64, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	db.writeMu.Lock()
+	t := *db.current.Load()
+	seq := db.seq.Load()
+	db.writeMu.Unlock()
+	if err := encodeSnapshot(w, t, seq); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+// RestoreSnapshotFrom replaces the database's entire state with the
+// snapshot stream read from r (CRC verified before anything is
+// installed) and returns the restored sequence number. On a durable
+// database the snapshot is persisted and the WAL restarted, so a crash
+// right after bootstrap recovers to the restored state.
+func (db *DB) RestoreSnapshotFrom(r io.Reader) (uint64, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	t, seq, err := decodeSnapshot(r)
+	if err != nil {
+		return 0, err
+	}
+
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	if db.opts.Dir != "" {
+		if err := writeSnapshot(db.opts.Dir, t, seq); err != nil {
+			return 0, err
+		}
+		if err := db.resetWalLocked(); err != nil {
+			return 0, err
+		}
+	}
+	db.current.Store(&t)
+	db.seq.Store(seq)
+	db.snapSeq.Store(seq)
+	db.pending = 0
+
+	// The tail ring describes the pre-restore history; drop it and wake
+	// any waiters so cascading replicas re-sync from the new position.
+	db.replMu.Lock()
+	if db.recent != nil {
+		db.recent = newBatchRing(len(db.recent.buf))
+	}
+	if db.commitC != nil {
+		close(db.commitC)
+		db.commitC = nil
+	}
+	db.replMu.Unlock()
+	return seq, nil
+}
+
+// ringFloorForTest exposes the oldest retained ring sequence to tests.
+func (db *DB) ringFloorForTest() (uint64, bool) {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	if db.recent == nil {
+		return 0, false
+	}
+	return db.recent.oldestSeq()
+}

@@ -1,0 +1,245 @@
+package storedb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func putKV(t *testing.T, db *DB, key, val string) {
+	t.Helper()
+	if err := db.Update(func(tx *Tx) error {
+		return tx.MustBucket("b").Put([]byte(key), []byte(val))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collectSince(t *testing.T, db *DB, from uint64, max int) []Batch {
+	t.Helper()
+	var out []Batch
+	if err := db.Since(from, max, func(b Batch) error {
+		out = append(out, b)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSinceFromRing(t *testing.T) {
+	db, err := Open(Options{ReplLogBuffer: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 5; i++ {
+		putKV(t, db, fmt.Sprintf("k%d", i), "v")
+	}
+
+	got := collectSince(t, db, 2, 0)
+	if len(got) != 3 || got[0].Seq != 3 || got[2].Seq != 5 {
+		t.Fatalf("since(2) = %+v", got)
+	}
+	if got := collectSince(t, db, 5, 0); len(got) != 0 {
+		t.Fatalf("since(head) = %+v", got)
+	}
+	if got := collectSince(t, db, 0, 2); len(got) != 2 || got[1].Seq != 2 {
+		t.Fatalf("since(0, max 2) = %+v", got)
+	}
+}
+
+func TestSinceRolledRingReportsCompacted(t *testing.T) {
+	db, err := Open(Options{ReplLogBuffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 6; i++ {
+		putKV(t, db, fmt.Sprintf("k%d", i), "v")
+	}
+	// Ring holds seqs 5,6 only; an in-memory store has no WAL fallback.
+	err = db.Since(1, 0, func(Batch) error { return nil })
+	if !errors.Is(err, ErrCompacted) {
+		t.Fatalf("err = %v, want ErrCompacted", err)
+	}
+	if got := collectSince(t, db, 4, 0); len(got) != 2 {
+		t.Fatalf("since(4) = %+v", got)
+	}
+}
+
+func TestSinceFallsBackToWALFile(t *testing.T) {
+	// Ring disabled: Since must read the on-disk WAL.
+	db, err := Open(Options{Dir: t.TempDir(), ReplLogBuffer: -1, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 4; i++ {
+		putKV(t, db, fmt.Sprintf("k%d", i), "v")
+	}
+	got := collectSince(t, db, 1, 0)
+	if len(got) != 3 || got[0].Seq != 2 {
+		t.Fatalf("since(1) via WAL = %+v", got)
+	}
+
+	// Compaction folds the log into a snapshot; earlier positions are
+	// then unservable.
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	err = db.Since(1, 0, func(Batch) error { return nil })
+	if !errors.Is(err, ErrCompacted) {
+		t.Fatalf("post-compaction err = %v, want ErrCompacted", err)
+	}
+}
+
+func TestApplyBatchOrdering(t *testing.T) {
+	src, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	for i := 0; i < 3; i++ {
+		putKV(t, src, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	batches := collectSince(t, src, 0, 0)
+
+	// A gap is refused.
+	if err := dst.ApplyBatch(batches[1]); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap err = %v, want ErrSeqGap", err)
+	}
+	// In order applies; duplicates are ignored.
+	for _, b := range batches {
+		if err := dst.ApplyBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dst.ApplyBatch(batches[1]); err != nil {
+		t.Fatalf("duplicate err = %v, want nil", err)
+	}
+	if dst.Seq() != src.Seq() {
+		t.Fatalf("dst seq %d, src %d", dst.Seq(), src.Seq())
+	}
+	dst.View(func(tx *Tx) error {
+		if v, ok := tx.MustBucket("b").Get([]byte("k2")); !ok || string(v) != "v2" {
+			t.Fatalf("k2 = %q,%v", v, ok)
+		}
+		return nil
+	})
+}
+
+func TestBatchEncodeDecodeRoundTrip(t *testing.T) {
+	in := Batch{Seq: 42, Ops: []Op{
+		{Key: []byte("b\x00k1"), Val: []byte("v1")},
+		{Delete: true, Key: []byte("b\x00k2")},
+	}}
+	out, err := DecodeBatch(EncodeBatch(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 42 || len(out.Ops) != 2 {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if !bytes.Equal(out.Ops[0].Val, []byte("v1")) || !out.Ops[1].Delete {
+		t.Fatalf("ops = %+v", out.Ops)
+	}
+}
+
+func TestSnapshotStreamRoundTrip(t *testing.T) {
+	src, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := 0; i < 10; i++ {
+		putKV(t, src, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+
+	var buf bytes.Buffer
+	seq, err := src.WriteSnapshotTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != src.Seq() {
+		t.Fatalf("snapshot seq %d, db %d", seq, src.Seq())
+	}
+
+	// Restore into a durable store: state, seq, and durability all land.
+	dir := t.TempDir()
+	dst, err := Open(Options{Dir: dir, SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.RestoreSnapshotFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != seq || dst.Seq() != seq || dst.Len() != src.Len() {
+		t.Fatalf("restore: got %d seq %d len %d", got, dst.Seq(), dst.Len())
+	}
+	// Post-restore commits continue the sequence.
+	putKV(t, dst, "after", "x")
+	if dst.Seq() != seq+1 {
+		t.Fatalf("post-restore seq = %d", dst.Seq())
+	}
+	dst.Close()
+
+	// A reopen recovers the restored snapshot plus the later commit.
+	re, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Seq() != seq+1 || re.Len() != src.Len()+1 {
+		t.Fatalf("reopen: seq %d len %d", re.Seq(), re.Len())
+	}
+
+	// A corrupted stream is rejected wholesale.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[len(bad)/2] ^= 0xFF
+	fresh, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if _, err := fresh.RestoreSnapshotFrom(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt restore err = %v, want ErrCorrupt", err)
+	}
+	if fresh.Len() != 0 {
+		t.Fatal("corrupt snapshot partially installed")
+	}
+}
+
+func TestRingSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir, ReplLogBuffer: 16, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		putKV(t, db, fmt.Sprintf("k%d", i), "v")
+	}
+	db.Close()
+
+	// Reopen repopulates the ring from the WAL so replicas can resume
+	// from memory after a primary restart.
+	db2, err := Open(Options{Dir: dir, ReplLogBuffer: 16, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if floor, ok := db2.ringFloorForTest(); !ok || floor != 1 {
+		t.Fatalf("ring floor after reopen = %d,%v", floor, ok)
+	}
+	if got := collectSince(t, db2, 2, 0); len(got) != 2 || got[0].Seq != 3 {
+		t.Fatalf("since(2) after reopen = %+v", got)
+	}
+}

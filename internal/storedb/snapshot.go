@@ -19,7 +19,14 @@ import (
 //	[4 bytes CRC-32 of everything between magic and trailer]
 //
 // A snapshot is written to a temporary file, synced, and renamed into
-// place, so a crash mid-write leaves the previous snapshot intact.
+// place, then the directory is synced so the rename itself survives a
+// power loss — a rename is atomic but not durable until its parent
+// directory reaches disk, and compaction deletes the WAL right after,
+// so losing the rename would lose the database.
+//
+// The same byte layout doubles as the replication bootstrap stream: a
+// fresh or hopelessly lagged replica downloads one snapshot stream and
+// then tails WAL batches from its sequence number.
 
 var snapshotMagic = [8]byte{'S', 'R', 'E', 'P', 'S', 'N', 'A', 'P'}
 
@@ -36,30 +43,18 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func writeSnapshot(dir string, t tree, seq uint64) (err error) {
-	tmp := filepath.Join(dir, "SNAPSHOT.tmp")
-	final := filepath.Join(dir, "SNAPSHOT")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
-	if err != nil {
-		return fmt.Errorf("storedb: create snapshot: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-
-	bw := bufio.NewWriterSize(f, 1<<16)
-	if _, err = bw.Write(snapshotMagic[:]); err != nil {
+// encodeSnapshot writes the full snapshot layout (magic through CRC
+// trailer) for the given tree and sequence number to w.
+func encodeSnapshot(w io.Writer, t tree, seq uint64) error {
+	if _, err := w.Write(snapshotMagic[:]); err != nil {
 		return err
 	}
-	cw := &crcWriter{w: bw}
+	cw := &crcWriter{w: w}
 	var hdr [20]byte
 	binary.BigEndian.PutUint32(hdr[0:4], snapshotVersion)
 	binary.BigEndian.PutUint64(hdr[4:12], seq)
 	binary.BigEndian.PutUint64(hdr[12:20], uint64(t.Len()))
-	if _, err = cw.Write(hdr[:]); err != nil {
+	if _, err := cw.Write(hdr[:]); err != nil {
 		return err
 	}
 	var varbuf [binary.MaxVarintLen64]byte
@@ -84,22 +79,133 @@ func writeSnapshot(dir string, t tree, seq uint64) (err error) {
 	}
 	var crcBuf [4]byte
 	binary.BigEndian.PutUint32(crcBuf[:], cw.crc)
-	if _, err = bw.Write(crcBuf[:]); err != nil {
+	if _, err := w.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeSnapshot(dir string, t tree, seq uint64) (err error) {
+	tmp := filepath.Join(dir, "SNAPSHOT.tmp")
+	final := filepath.Join(dir, "SNAPSHOT")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("storedb: create snapshot: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err = encodeSnapshot(bw, t, seq); err != nil {
 		return err
 	}
 	if err = bw.Flush(); err != nil {
 		return fmt.Errorf("storedb: flush snapshot: %w", err)
 	}
-	if err = f.Sync(); err != nil {
+	if err = fsSync(f, "snapshot"); err != nil {
 		return fmt.Errorf("storedb: sync snapshot: %w", err)
 	}
 	if err = f.Close(); err != nil {
 		return fmt.Errorf("storedb: close snapshot: %w", err)
 	}
-	if err = os.Rename(tmp, final); err != nil {
+	if err = fsRename(tmp, final); err != nil {
 		return fmt.Errorf("storedb: install snapshot: %w", err)
 	}
+	// Make the rename durable before the caller deletes the WAL the
+	// snapshot replaces.
+	if err = fsSyncDir(dir); err != nil {
+		return fmt.Errorf("storedb: sync snapshot dir: %w", err)
+	}
 	return nil
+}
+
+// crcByteReader reads from a buffered reader while folding every
+// consumed byte into a running CRC, so a stream decode can verify the
+// trailer without buffering the whole snapshot or reading the file
+// twice.
+type crcByteReader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+// ReadByte implements io.ByteReader for binary.ReadUvarint.
+func (c *crcByteReader) ReadByte() (byte, error) {
+	b, err := c.br.ReadByte()
+	if err != nil {
+		return b, err
+	}
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+	return b, nil
+}
+
+func (c *crcByteReader) full(p []byte) error {
+	if _, err := io.ReadFull(c.br, p); err != nil {
+		return err
+	}
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return nil
+}
+
+func (c *crcByteReader) lenPrefixed() ([]byte, error) {
+	n, err := binary.ReadUvarint(c)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRecordSize {
+		return nil, fmt.Errorf("length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if err := c.full(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// decodeSnapshot reads one snapshot stream from r, verifying the
+// trailer CRC over everything it consumed. It is the read side of
+// encodeSnapshot; callers that cannot two-pass (a network stream) rely
+// on the inline check and must discard the result on error.
+func decodeSnapshot(r io.Reader) (tree, uint64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != snapshotMagic {
+		return tree{}, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	cr := &crcByteReader{br: br}
+	var hdr [20]byte
+	if err := cr.full(hdr[:]); err != nil {
+		return tree{}, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
+	}
+	if v := binary.BigEndian.Uint32(hdr[0:4]); v != snapshotVersion {
+		return tree{}, 0, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
+	}
+	seq := binary.BigEndian.Uint64(hdr[4:12])
+	count := binary.BigEndian.Uint64(hdr[12:20])
+
+	var t tree
+	for i := uint64(0); i < count; i++ {
+		key, err := cr.lenPrefixed()
+		if err != nil {
+			return tree{}, 0, fmt.Errorf("%w: snapshot entry %d key: %v", ErrCorrupt, i, err)
+		}
+		val, err := cr.lenPrefixed()
+		if err != nil {
+			return tree{}, 0, fmt.Errorf("%w: snapshot entry %d value: %v", ErrCorrupt, i, err)
+		}
+		t = t.Put(key, val)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return tree{}, 0, fmt.Errorf("%w: snapshot trailer: %v", ErrCorrupt, err)
+	}
+	if binary.BigEndian.Uint32(trailer[:]) != cr.crc {
+		return tree{}, 0, fmt.Errorf("%w: snapshot crc mismatch", ErrCorrupt)
+	}
+	return t, seq, nil
 }
 
 // loadSnapshot reads the snapshot in dir, if present. The file's CRC is
@@ -119,35 +225,7 @@ func loadSnapshot(dir string) (tree, uint64, error) {
 		return tree{}, 0, fmt.Errorf("storedb: open snapshot: %w", err)
 	}
 	defer f.Close()
-
-	br := bufio.NewReaderSize(f, 1<<16)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != snapshotMagic {
-		return tree{}, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
-	}
-	var hdr [20]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return tree{}, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
-	}
-	if v := binary.BigEndian.Uint32(hdr[0:4]); v != snapshotVersion {
-		return tree{}, 0, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
-	}
-	seq := binary.BigEndian.Uint64(hdr[4:12])
-	count := binary.BigEndian.Uint64(hdr[12:20])
-
-	var t tree
-	for i := uint64(0); i < count; i++ {
-		key, err := readLenPrefixed(br)
-		if err != nil {
-			return tree{}, 0, fmt.Errorf("%w: snapshot entry %d key: %v", ErrCorrupt, i, err)
-		}
-		val, err := readLenPrefixed(br)
-		if err != nil {
-			return tree{}, 0, fmt.Errorf("%w: snapshot entry %d value: %v", ErrCorrupt, i, err)
-		}
-		t = t.Put(key, val)
-	}
-	return t, seq, nil
+	return decodeSnapshot(f)
 }
 
 // verifySnapshotCRC checks the trailer CRC over the checksummed region
@@ -182,19 +260,4 @@ func verifySnapshotCRC(path string) error {
 		return fmt.Errorf("%w: snapshot crc mismatch", ErrCorrupt)
 	}
 	return nil
-}
-
-func readLenPrefixed(r *bufio.Reader) ([]byte, error) {
-	n, err := binary.ReadUvarint(r)
-	if err != nil {
-		return nil, err
-	}
-	if n > maxRecordSize {
-		return nil, fmt.Errorf("length %d too large", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
 }

@@ -113,10 +113,15 @@ func decodeWalBatch(payload []byte) (walBatch, error) {
 	return b, nil
 }
 
-// walWriter appends framed batches to the log file.
+// walWriter appends framed batches to the log file. It tracks the
+// offset of the last good frame boundary so a failed append can be
+// rewound: a batch whose write or fsync errored was reported as failed
+// to the committer, and must not linger in the file where recovery
+// would resurrect it as committed.
 type walWriter struct {
 	f    *os.File
 	sync bool
+	off  int64 // end of the last fully appended frame
 }
 
 func openWalWriter(path string, sync bool) (*walWriter, error) {
@@ -124,7 +129,12 @@ func openWalWriter(path string, sync bool) (*walWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storedb: open wal: %w", err)
 	}
-	return &walWriter{f: f, sync: sync}, nil
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storedb: stat wal: %w", err)
+	}
+	return &walWriter{f: f, sync: sync, off: info.Size()}, nil
 }
 
 func (w *walWriter) append(b *walBatch) error {
@@ -133,17 +143,29 @@ func (w *walWriter) append(b *walBatch) error {
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 	if _, err := w.f.Write(hdr[:]); err != nil {
+		w.rewind()
 		return fmt.Errorf("storedb: wal write: %w", err)
 	}
 	if _, err := w.f.Write(payload); err != nil {
+		w.rewind()
 		return fmt.Errorf("storedb: wal write: %w", err)
 	}
 	if w.sync {
-		if err := w.f.Sync(); err != nil {
+		if err := fsSync(w.f, "wal"); err != nil {
+			w.rewind()
 			return fmt.Errorf("storedb: wal sync: %w", err)
 		}
 	}
+	w.off += walHeaderSize + int64(len(payload))
 	return nil
+}
+
+// rewind truncates the log back to the last good frame boundary after
+// a failed append. Best-effort: if the truncate itself fails the bytes
+// stay, and recovery's CRC check will still refuse a torn frame — only
+// a fully written frame whose fsync failed needs this.
+func (w *walWriter) rewind() {
+	_ = w.f.Truncate(w.off)
 }
 
 func (w *walWriter) close() error {
@@ -155,16 +177,18 @@ func (w *walWriter) close() error {
 	return err
 }
 
-// replayWal reads batches from the log at path, calling apply for each
-// batch in order. A torn or corrupt tail is truncated away. It returns
-// the highest sequence number seen.
-func replayWal(path string, apply func(walBatch) error) (lastSeq uint64, err error) {
+// scanWal reads batches from the log at path, calling apply for each
+// good batch in order, and returns the highest sequence number seen
+// plus the offset of the first byte it could not trust (the torn-tail
+// boundary). It never modifies the file, so replication tailing can
+// scan the log a writer is still appending to.
+func scanWal(path string, apply func(walBatch) error) (lastSeq uint64, good int64, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("storedb: open wal for replay: %w", err)
+		return 0, 0, fmt.Errorf("storedb: open wal for replay: %w", err)
 	}
 	defer f.Close()
 
@@ -193,14 +217,25 @@ func replayWal(path string, apply func(walBatch) error) (lastSeq uint64, err err
 			break
 		}
 		if err := apply(batch); err != nil {
-			return lastSeq, err
+			return lastSeq, offset, err
 		}
 		lastSeq = batch.seq
 		offset += walHeaderSize + int64(length)
 	}
+	return lastSeq, offset, nil
+}
+
+// replayWal reads batches from the log at path, calling apply for each
+// batch in order. A torn or corrupt tail is truncated away. It returns
+// the highest sequence number seen.
+func replayWal(path string, apply func(walBatch) error) (lastSeq uint64, err error) {
+	lastSeq, offset, err := scanWal(path, apply)
+	if err != nil {
+		return lastSeq, err
+	}
 
 	// Truncate any torn tail so future appends start at a clean frame.
-	if info, serr := f.Stat(); serr == nil && info.Size() > offset {
+	if info, serr := os.Stat(path); serr == nil && info.Size() > offset {
 		if terr := os.Truncate(path, offset); terr != nil {
 			return lastSeq, fmt.Errorf("storedb: truncate torn wal tail: %w", terr)
 		}

@@ -29,6 +29,16 @@ const (
 	PathStats     = "/api/stats"
 )
 
+// Operational and replication paths. Health endpoints are plain GETs
+// answered by every role; the /repl endpoints are served only by a
+// primary publishing its log to replicas.
+const (
+	PathHealthz      = "/healthz"
+	PathReplStatus   = "/replstatus"
+	PathReplSnapshot = "/repl/snapshot"
+	PathReplWAL      = "/repl/wal"
+)
+
 // TimeFormat is how instants are serialised on the wire.
 const TimeFormat = time.RFC3339
 
@@ -49,12 +59,25 @@ const (
 	CodeRateLimited   = "rate-limited"
 	CodeUnavailable   = "unavailable"
 	CodeInternal      = "internal"
+
+	// CodeRedirect is returned (HTTP 421) by a replica refusing a write:
+	// the Primary attribute names the server that accepts writes. Clients
+	// must not retry the replica; they re-issue against the primary.
+	CodeRedirect = "redirect"
+
+	// CodeCompacted is returned (HTTP 410) by /repl/wal when the
+	// requested position has been compacted away; the replica must
+	// bootstrap from /repl/snapshot before resuming the stream.
+	CodeCompacted = "compacted"
 )
 
 // ErrorResponse is the error document returned with non-2xx statuses.
+// Primary is set only with CodeRedirect and names the base URL of the
+// server currently accepting writes.
 type ErrorResponse struct {
 	XMLName xml.Name `xml:"error"`
 	Code    string   `xml:"code,attr"`
+	Primary string   `xml:"primary,attr,omitempty"`
 	Message string   `xml:",chardata"`
 }
 
@@ -236,6 +259,45 @@ type StatsResponse struct {
 	Ratings  int      `xml:"ratings"`
 	Comments int      `xml:"comments"`
 	Remarks  int      `xml:"remarks"`
+}
+
+// Server roles reported by HealthzResponse.
+const (
+	RolePrimary = "primary"
+	RoleReplica = "replica"
+)
+
+// HealthzResponse is the GET /healthz document: enough for a client to
+// decide whether this endpoint can serve its request (role, drain
+// state) and how fresh it is (sequence number and replication lag).
+type HealthzResponse struct {
+	XMLName  xml.Name `xml:"healthz"`
+	Role     string   `xml:"role"`
+	Primary  string   `xml:"primary,omitempty"`
+	Seq      uint64   `xml:"seq"`
+	Lag      uint64   `xml:"lag"`
+	Draining bool     `xml:"draining"`
+	Inflight int64    `xml:"inflight"`
+}
+
+// ReplicaStatusInfo is one replica's replication progress as tracked by
+// the primary it pulls from.
+type ReplicaStatusInfo struct {
+	ID        string `xml:"id,attr"`
+	AckSeq    uint64 `xml:"ack-seq"`
+	Lag       uint64 `xml:"lag"`
+	LastPoll  string `xml:"last-poll,omitempty"`
+	Snapshots int    `xml:"snapshots"`
+}
+
+// ReplStatusResponse is the GET /replstatus document describing the
+// replication tier from this server's point of view.
+type ReplStatusResponse struct {
+	XMLName  xml.Name            `xml:"replstatus"`
+	Role     string              `xml:"role"`
+	Seq      uint64              `xml:"seq"`
+	SnapSeq  uint64              `xml:"snap-seq"`
+	Replicas []ReplicaStatusInfo `xml:"replicas>replica,omitempty"`
 }
 
 // Encode writes v as an XML document with the standard header.
