@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench simulate verify
+.PHONY: build test vet race bench bench-smoke simulate verify
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# bench-smoke runs the E19 lookup-throughput benchmark once, as a cheap
+# regression tripwire for the read-path fast lane.
+bench-smoke:
+	$(GO) test -run=NONE -bench=E19 -benchtime=1x .
+
 simulate:
 	$(GO) run ./cmd/simulate -exp all -quick
 
-# verify is the gate for every change: tier-1 (build + test) plus vet
-# and the race detector.
-verify: build vet race test
+# verify is the gate for every change: tier-1 (build + test) plus vet,
+# the race detector, and the E19 benchmark smoke.
+verify: build vet race test bench-smoke
 	@echo "verify: OK"

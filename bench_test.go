@@ -370,6 +370,29 @@ func BenchmarkE18Replication(b *testing.B) {
 	b.ReportMetric(float64(res.Resumes), "partition-resumes")
 }
 
+// BenchmarkE19LookupThroughput measures the read-path fast lane at the
+// paper's deployment scale: a mixed hot/cold lookup workload over 2,500
+// programs through the HTTP handler, fast lane on vs the
+// upsert-on-every-lookup baseline. Headline metrics: throughput
+// speedup, p99 latency, cache hit ratio, and the fast lane's write
+// transactions (which must be zero).
+func BenchmarkE19LookupThroughput(b *testing.B) {
+	var res simulation.LookupPerfResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunLookupPerf(simulation.DefaultLookupPerfConfig(19))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Fast.Throughput, "lookups/s")
+	b.ReportMetric(res.Baseline.Throughput, "baseline-lookups/s")
+	b.ReportMetric(res.Speedup, "speedup-x")
+	b.ReportMetric(res.Fast.HitRatio*100, "hit-ratio-pct")
+	b.ReportMetric(float64(res.Fast.P99.Nanoseconds()), "fast-p99-ns")
+	b.ReportMetric(float64(res.Fast.WriteTxns), "fast-write-txns")
+}
+
 // BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
 // throughput into the embedded store through the full repository path.
 func BenchmarkE14StoredbIngest(b *testing.B) {

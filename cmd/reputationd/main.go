@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +53,9 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline (0 disables)")
 	maxInflight := flag.Int("max-inflight", 256, "concurrent request cap before shedding 503s (0 = uncapped)")
 	grace := flag.Duration("grace", 10*time.Second, "drain window for in-flight requests at shutdown")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address for live profiling (empty disables)")
+	fullAgg := flag.Bool("full-aggregation", false, "aggregate with the full rescan instead of the incremental dirty-set engine")
+	reportCache := flag.Int("report-cache", 0, "report cache capacity in entries (0 = default, negative disables)")
 	role := flag.String("role", "primary", "replication role: primary or replica")
 	primaryURL := flag.String("primary", "", "primary base URL (required with -role replica)")
 	replicaID := flag.String("replica-id", "", "identifier reported to the primary's /replstatus (defaults to the listen address)")
@@ -90,6 +94,8 @@ func main() {
 		MaxSignupsPerIPPerDay: *signupsPerIP,
 		RequestTimeout:        *reqTimeout,
 		MaxInflight:           *maxInflight,
+		FullAggregation:       *fullAgg,
+		ReportCacheEntries:    *reportCache,
 		Mailer:                stdoutMailer{},
 	}
 	var repl *replication.Replica
@@ -114,6 +120,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener so they are
+		// never exposed on the public API address.
+		go func() {
+			log.Printf("reputationd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("reputationd: pprof: %v", err)
+			}
+		}()
+	}
 
 	if isReplica {
 		// The replication tail. Replicas do not run the aggregation job:

@@ -168,6 +168,13 @@ func experiments() []experiment {
 			}
 			return simulation.RunReplication(cfg)
 		}},
+		{"e19", "E19: read-path fast lane — lookup throughput at deployment scale", func(seed int64, quick bool) (fmt.Stringer, error) {
+			cfg := simulation.DefaultLookupPerfConfig(seed)
+			if quick {
+				cfg = simulation.QuickLookupPerfConfig(seed)
+			}
+			return simulation.RunLookupPerf(cfg)
+		}},
 	}
 }
 
@@ -199,6 +206,9 @@ func main() {
 	}
 	if want["replication"] {
 		want["e18"] = true
+	}
+	if want["lookupperf"] {
+		want["e19"] = true
 	}
 
 	matched := 0

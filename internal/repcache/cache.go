@@ -1,0 +1,301 @@
+// Package repcache is the server's report cache: a size-bounded,
+// versioned LRU of pre-encoded lookup responses, keyed by software
+// identity plus the requesting client's feed subscription set.
+//
+// The cache exists because the client freezes program execution on the
+// reputation lookup (§3.1), making lookup latency the system's
+// user-visible cost, while the data behind a report changes rarely —
+// scores move once per 24-hour aggregation period and comments arrive
+// at human speed. Three properties keep it correct under that load:
+//
+//   - entries are owned by a software ID; any write that could change a
+//     report invalidates every entry for the owner, whatever feed set
+//     the entry was built for;
+//   - fills are generation-versioned: an invalidation that lands while
+//     a report is being rebuilt prevents the stale bytes from being
+//     stored, so a cache hit never precedes the write it missed;
+//   - concurrent misses on one key collapse into a single build
+//     (singleflight), so a stampede of identical lookups costs one
+//     report construction.
+package repcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultEntries is the cache capacity selected by a zero configuration:
+// enough to hold the whole working set at the paper's deployment scale
+// ("well over 2000 rated software programs") with room for per-feed-set
+// variants of the hot entries.
+const DefaultEntries = 4096
+
+// maxOwnerGenerations bounds the per-owner invalidation-generation map.
+// When it overflows, the floor rises to the current generation and the
+// map is cleared — conservatively treating every owner as just
+// invalidated, which can only cause extra rebuilds, never staleness.
+const maxOwnerGenerations = 1 << 16
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses uint64
+	// Stored counts fills whose result was accepted into the cache.
+	Stored uint64
+	// Rejected counts fills discarded because their owner was
+	// invalidated while the report was being built.
+	Rejected uint64
+	// Collapsed counts callers that piggy-backed on another goroutine's
+	// in-flight fill instead of building the report themselves.
+	Collapsed uint64
+	// Invalidations counts Invalidate and InvalidateAll calls.
+	Invalidations uint64
+	// Entries is the current number of cached reports.
+	Entries int
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	key   string
+	owner string
+	data  []byte
+	elem  *list.Element
+}
+
+// Cache is the report cache. It is safe for concurrent use. A nil
+// *Cache is a valid, always-miss cache, so callers need no nil checks.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*entry
+	byOwner map[string]map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
+
+	// gen advances on every invalidation; ownerGen[o] records the
+	// generation at which owner o was last invalidated, with floor as
+	// the conservative lower bound after pruning or InvalidateAll.
+	gen      uint64
+	floor    uint64
+	ownerGen map[string]uint64
+
+	flights map[string]*flight
+
+	hits, misses, stored, rejected, collapsed, invalidations uint64
+}
+
+// New creates a cache holding at most capacity entries; capacity <= 0
+// selects DefaultEntries.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultEntries
+	}
+	return &Cache{
+		cap:      capacity,
+		entries:  make(map[string]*entry),
+		byOwner:  make(map[string]map[string]*entry),
+		lru:      list.New(),
+		ownerGen: make(map[string]uint64),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// Get returns the cached bytes for key, if present. The returned slice
+// is shared and must not be modified.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return e.data, true
+}
+
+// Probe is Get for callers that fall back to Do on a miss: a hit is
+// counted, a miss is not, leaving the miss accounting to the Do that
+// follows — so a request probing under one key and filling under
+// another still counts exactly one hit or one miss.
+func (c *Cache) Probe(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return e.data, true
+}
+
+// Do returns the report for key, building it with fill on a miss.
+// Concurrent calls for the same key collapse into one fill; every
+// caller receives that fill's result. The result is cached only when
+// fill reports it cacheable and the owner was not invalidated while
+// the fill ran. On a nil *Cache, fill runs directly.
+func (c *Cache) Do(owner, key string, fill func() ([]byte, bool, error)) ([]byte, error) {
+	if c == nil {
+		data, _, err := fill()
+		return data, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		data := e.data
+		c.mu.Unlock()
+		return data, nil
+	}
+	c.misses++
+	if f, ok := c.flights[key]; ok {
+		c.collapsed++
+		c.mu.Unlock()
+		f.wg.Wait()
+		return f.data, f.err
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	c.flights[key] = f
+	genAtStart := c.invalGenLocked(owner)
+	c.mu.Unlock()
+
+	f.data, f.cacheable, f.err = fill()
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil && f.cacheable {
+		if c.invalGenLocked(owner) == genAtStart {
+			c.storeLocked(owner, key, f.data)
+			c.stored++
+		} else {
+			c.rejected++
+		}
+	}
+	c.mu.Unlock()
+	f.wg.Done()
+	return f.data, f.err
+}
+
+// flight is one in-progress fill that concurrent misses wait on.
+type flight struct {
+	wg        sync.WaitGroup
+	data      []byte
+	cacheable bool
+	err       error
+}
+
+// invalGenLocked returns the generation at which owner was last
+// invalidated (the floor when unknown). Caller holds mu.
+func (c *Cache) invalGenLocked(owner string) uint64 {
+	if g, ok := c.ownerGen[owner]; ok {
+		return g
+	}
+	return c.floor
+}
+
+// storeLocked inserts data under key, evicting the LRU tail beyond
+// capacity. Caller holds mu.
+func (c *Cache) storeLocked(owner, key string, data []byte) {
+	if e, ok := c.entries[key]; ok {
+		e.data = data
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &entry{key: key, owner: owner, data: data}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	keys := c.byOwner[owner]
+	if keys == nil {
+		keys = make(map[string]*entry)
+		c.byOwner[owner] = keys
+	}
+	keys[key] = e
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.removeLocked(tail.Value.(*entry))
+	}
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.key)
+	if keys := c.byOwner[e.owner]; keys != nil {
+		delete(keys, e.key)
+		if len(keys) == 0 {
+			delete(c.byOwner, e.owner)
+		}
+	}
+}
+
+// Invalidate drops every entry owned by owner and marks the owner so
+// that in-flight fills started before this call will not be stored.
+func (c *Cache) Invalidate(owner string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidations++
+	c.gen++
+	if len(c.ownerGen) >= maxOwnerGenerations {
+		c.floor = c.gen
+		c.ownerGen = make(map[string]uint64)
+	}
+	c.ownerGen[owner] = c.gen
+	for _, e := range c.byOwner[owner] {
+		c.lru.Remove(e.elem)
+		delete(c.entries, e.key)
+	}
+	delete(c.byOwner, owner)
+}
+
+// InvalidateAll drops every entry and marks every owner (present and
+// future fills started before this call) invalid — the bulk hook for
+// aggregation publishes and snapshot restores.
+func (c *Cache) InvalidateAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidations++
+	c.gen++
+	c.floor = c.gen
+	c.ownerGen = make(map[string]uint64)
+	c.entries = make(map[string]*entry)
+	c.byOwner = make(map[string]map[string]*entry)
+	c.lru.Init()
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Stored:        c.stored,
+		Rejected:      c.rejected,
+		Collapsed:     c.collapsed,
+		Invalidations: c.invalidations,
+		Entries:       len(c.entries),
+	}
+}

@@ -1,0 +1,234 @@
+package repcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func fillConst(data string) func() ([]byte, bool, error) {
+	return func() ([]byte, bool, error) { return []byte(data), true, nil }
+}
+
+func TestHitAfterDo(t *testing.T) {
+	c := New(8)
+	got, err := c.Do("sw1", "sw1|", fillConst("report-1"))
+	if err != nil || string(got) != "report-1" {
+		t.Fatalf("Do = %q, %v", got, err)
+	}
+	cached, ok := c.Get("sw1|")
+	if !ok || string(cached) != "report-1" {
+		t.Fatalf("Get after Do = %q, %v", cached, ok)
+	}
+	calls := 0
+	got, err = c.Do("sw1", "sw1|", func() ([]byte, bool, error) {
+		calls++
+		return []byte("rebuilt"), true, nil
+	})
+	if err != nil || string(got) != "report-1" || calls != 0 {
+		t.Fatalf("second Do = %q calls=%d (want cached report-1, 0 calls)", got, calls)
+	}
+}
+
+func TestInvalidateDropsOwnerOnly(t *testing.T) {
+	c := New(8)
+	// Two feed-set variants for sw1, one entry for sw2.
+	c.Do("sw1", "sw1|", fillConst("a"))
+	c.Do("sw1", "sw1|fast", fillConst("b"))
+	c.Do("sw2", "sw2|", fillConst("c"))
+
+	c.Invalidate("sw1")
+	if _, ok := c.Get("sw1|"); ok {
+		t.Fatal("sw1| survived Invalidate(sw1)")
+	}
+	if _, ok := c.Get("sw1|fast"); ok {
+		t.Fatal("sw1|fast survived Invalidate(sw1)")
+	}
+	if got, ok := c.Get("sw2|"); !ok || string(got) != "c" {
+		t.Fatalf("sw2| = %q, %v; want c, true", got, ok)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New(8)
+	c.Do("sw1", "sw1|", fillConst("a"))
+	c.Do("sw2", "sw2|", fillConst("b"))
+	c.InvalidateAll()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries after InvalidateAll = %d", st.Entries)
+	}
+}
+
+// TestInvalidationDuringFillRejectsStore is the versioning property: a
+// fill that was in flight when its owner was invalidated must not be
+// stored, or a hit could serve state older than an acknowledged write.
+func TestInvalidationDuringFillRejectsStore(t *testing.T) {
+	c := New(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Do("sw1", "sw1|", func() ([]byte, bool, error) {
+			close(started)
+			<-release
+			return []byte("stale"), true, nil
+		})
+	}()
+	<-started
+	c.Invalidate("sw1") // the write lands mid-fill
+	close(release)
+	<-done
+	if _, ok := c.Get("sw1|"); ok {
+		t.Fatal("fill overlapping an invalidation was stored")
+	}
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestUncacheableAndErrorFills(t *testing.T) {
+	c := New(8)
+	// Not cacheable (e.g. first-sight Known=false response).
+	got, err := c.Do("sw1", "sw1|", func() ([]byte, bool, error) {
+		return []byte("first-sight"), false, nil
+	})
+	if err != nil || string(got) != "first-sight" {
+		t.Fatalf("Do = %q, %v", got, err)
+	}
+	if _, ok := c.Get("sw1|"); ok {
+		t.Fatal("uncacheable fill was stored")
+	}
+	// Errors propagate and are not stored.
+	wantErr := errors.New("boom")
+	if _, err := c.Do("sw1", "sw1|", func() ([]byte, bool, error) { return nil, true, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, ok := c.Get("sw1|"); ok {
+		t.Fatal("failed fill was stored")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Do("a", "a", fillConst("1"))
+	c.Do("b", "b", fillConst("2"))
+	c.Get("a") // a is now more recent than b
+	c.Do("d", "d", fillConst("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+}
+
+func TestNilCacheIsAlwaysMiss(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	got, err := c.Do("o", "k", fillConst("x"))
+	if err != nil || string(got) != "x" {
+		t.Fatalf("nil Do = %q, %v", got, err)
+	}
+	c.Invalidate("o")
+	c.InvalidateAll()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+}
+
+// TestSingleflightStampede hammers one cold key from many goroutines:
+// exactly one fill must run, every caller must get its bytes, and the
+// run must be clean under -race.
+func TestSingleflightStampede(t *testing.T) {
+	c := New(64)
+	var fills atomic.Int64
+	const goroutines = 64
+	var wg sync.WaitGroup
+	results := make([][]byte, goroutines)
+	errs := make([]error, goroutines)
+	release := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Do("hot", "hot|", func() ([]byte, bool, error) {
+				fills.Add(1)
+				// Hold the fill open until every other goroutine has
+				// collapsed onto this flight, so the stampede is real
+				// rather than a sequence of cache hits.
+				<-release
+				return []byte("hot-report"), true, nil
+			})
+		}(i)
+	}
+	// Collapsed is incremented before a caller parks on the flight, so
+	// polling it tells us all 63 late arrivals are inside Do.
+	for c.Stats().Collapsed < goroutines-1 {
+	}
+	close(release)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil || !bytes.Equal(results[i], []byte("hot-report")) {
+			t.Fatalf("caller %d got %q, %v", i, results[i], errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Collapsed != goroutines-1 {
+		t.Fatalf("Collapsed = %d, want %d", st.Collapsed, goroutines-1)
+	}
+}
+
+// TestConcurrentMixedWorkload races fills, hits, and invalidations
+// across many owners; correctness here is "no data race, no deadlock,
+// and every returned value is one some fill produced".
+func TestConcurrentMixedWorkload(t *testing.T) {
+	c := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				owner := fmt.Sprintf("sw%d", i%16)
+				key := owner + "|"
+				switch i % 5 {
+				case 4:
+					c.Invalidate(owner)
+				default:
+					got, err := c.Do(owner, key, fillConst("report:"+owner))
+					if err != nil || string(got) != "report:"+owner {
+						t.Errorf("Do(%s) = %q, %v", key, got, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestHitRatio(t *testing.T) {
+	c := New(8)
+	c.Do("a", "a", fillConst("1")) // miss
+	c.Get("a")                     // hit
+	c.Get("a")                     // hit
+	c.Get("nope")                  // miss
+	if got := c.Stats().HitRatio(); got != 0.5 {
+		t.Fatalf("HitRatio = %v, want 0.5", got)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Fatal("empty HitRatio should be 0")
+	}
+}

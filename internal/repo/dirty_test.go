@@ -1,0 +1,190 @@
+package repo
+
+import (
+	"testing"
+
+	"softreputation/internal/core"
+	"softreputation/internal/storedb"
+	"softreputation/internal/vclock"
+)
+
+// collectBatches drains the store's replication stream from a position.
+func collectBatches(t *testing.T, s *Store, from uint64) []storedb.Batch {
+	t.Helper()
+	var out []storedb.Batch
+	err := s.DB().Since(from, 0, func(b storedb.Batch) error {
+		out = append(out, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Since(%d): %v", from, err)
+	}
+	return out
+}
+
+func TestDirtyMarkersStampedClear(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+
+	mustCreateUser(t, s, "alice")
+	m := mustUpsertSoftware(t, s, 1)
+
+	marks, err := s.DirtySoftware()
+	if err != nil || len(marks) != 1 || marks[0].ID != m.ID {
+		t.Fatalf("after upsert: marks = %+v, %v", marks, err)
+	}
+	stale := marks[0]
+
+	// A later vote re-stamps the marker.
+	if _, err := s.AddRating(core.Rating{
+		UserID: "alice", Software: m.ID, Score: 7, At: vclock.Epoch,
+	}, ""); err != nil {
+		t.Fatal(err)
+	}
+	marks, _ = s.DirtySoftware()
+	if len(marks) != 1 || marks[0].Gen <= stale.Gen {
+		t.Fatalf("vote did not re-stamp the marker: %+v (was gen %d)", marks, stale.Gen)
+	}
+	fresh := marks[0]
+
+	// Clearing with the stale stamp must keep the marker: the run that
+	// read it missed the racing vote.
+	err = s.PublishAggregation(AggregationPublish{ClearDirtySoftware: []DirtySoftwareMark{stale}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marks, _ = s.DirtySoftware(); len(marks) != 1 {
+		t.Fatalf("stale clear consumed a re-stamped marker: %+v", marks)
+	}
+
+	// Clearing with the current stamp consumes it.
+	err = s.PublishAggregation(AggregationPublish{ClearDirtySoftware: []DirtySoftwareMark{fresh}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marks, _ = s.DirtySoftware(); len(marks) != 0 {
+		t.Fatalf("current clear left markers: %+v", marks)
+	}
+}
+
+func TestDirtyUserMarkOnTrustChange(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+
+	u := mustCreateUser(t, s, "bob")
+
+	// An update that leaves trust untouched marks nothing.
+	u.LastLoginAt = vclock.Epoch.Add(1)
+	if err := s.UpdateUser(u); err != nil {
+		t.Fatal(err)
+	}
+	if marks, _ := s.DirtyUsers(); len(marks) != 0 {
+		t.Fatalf("trust-neutral update marked users: %+v", marks)
+	}
+
+	u.Trust = u.Trust.ApplyRemark(true, vclock.Epoch.Add(2))
+	if err := s.UpdateUser(u); err != nil {
+		t.Fatal(err)
+	}
+	marks, _ := s.DirtyUsers()
+	if len(marks) != 1 || marks[0].Username != "bob" {
+		t.Fatalf("trust change not marked: %+v", marks)
+	}
+	err := s.PublishAggregation(AggregationPublish{ClearDirtyUsers: marks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marks, _ = s.DirtyUsers(); len(marks) != 0 {
+		t.Fatalf("user marker survived clear: %+v", marks)
+	}
+}
+
+// lastImpact re-derives the cache impact of the newest batches a write
+// produced.
+func lastImpact(t *testing.T, s *Store, from uint64) Impact {
+	t.Helper()
+	var merged Impact
+	for _, b := range collectBatches(t, s, from) {
+		imp := BatchImpact(b)
+		if imp.All {
+			return imp
+		}
+		merged.Software = append(merged.Software, imp.Software...)
+		merged.Users = append(merged.Users, imp.Users...)
+		merged.Vendors = append(merged.Vendors, imp.Vendors...)
+	}
+	return merged
+}
+
+func hasSoftware(imp Impact, id core.SoftwareID) bool {
+	for _, got := range imp.Software {
+		if got == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBatchImpactAttribution(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+
+	// User creation touches the user and email buckets only.
+	seq := s.Seq()
+	mustCreateUser(t, s, "alice")
+	imp := lastImpact(t, s, seq)
+	if imp.All || len(imp.Users) != 1 || imp.Users[0] != "alice" || len(imp.Software) != 0 {
+		t.Fatalf("user creation impact = %+v", imp)
+	}
+
+	// Software registration attributes to the executable, not All —
+	// the dirty marker it writes into the meta bucket carries no report
+	// content.
+	seq = s.Seq()
+	m := mustUpsertSoftware(t, s, 2)
+	imp = lastImpact(t, s, seq)
+	if imp.All || !hasSoftware(imp, m.ID) || len(imp.Users) != 0 {
+		t.Fatalf("software upsert impact = %+v", imp)
+	}
+
+	// A vote with a comment spans ratings, comments and their indexes;
+	// everything resolves to the one executable.
+	seq = s.Seq()
+	if _, err := s.AddRating(core.Rating{
+		UserID: "alice", Software: m.ID, Score: 4, At: vclock.Epoch,
+	}, "noted"); err != nil {
+		t.Fatal(err)
+	}
+	imp = lastImpact(t, s, seq)
+	if imp.All || !hasSoftware(imp, m.ID) {
+		t.Fatalf("vote impact = %+v", imp)
+	}
+
+	// An aggregation publish attributes to the scored executable and
+	// its vendor.
+	seq = s.Seq()
+	err := s.PublishAggregation(AggregationPublish{
+		Scores:       []core.SoftwareScore{{Software: m.ID, Score: 4, Votes: 1}},
+		VendorScores: []core.VendorScore{{Vendor: "Acme", Score: 4, SoftwareCount: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp = lastImpact(t, s, seq)
+	if imp.All || !hasSoftware(imp, m.ID) ||
+		len(imp.Vendors) != 1 || imp.Vendors[0] != "Acme" {
+		t.Fatalf("publish impact = %+v", imp)
+	}
+
+	// Conservative fallbacks: anything unattributable flips All.
+	for name, b := range map[string]storedb.Batch{
+		"op-less (snapshot restore)": {Seq: 1},
+		"unknown bucket":             {Seq: 1, Ops: []storedb.Op{{Key: []byte("zz\x00k"), Val: []byte("v")}}},
+		"malformed key":              {Seq: 1, Ops: []storedb.Op{{Key: []byte("no-separator")}}},
+		"comment delete":             {Seq: 1, Ops: []storedb.Op{{Delete: true, Key: []byte(bucketComments + "\x00k")}}},
+	} {
+		if imp := BatchImpact(b); !imp.All {
+			t.Fatalf("%s: impact = %+v, want All", name, imp)
+		}
+	}
+}

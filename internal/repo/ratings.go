@@ -166,6 +166,9 @@ func (s *Store) AddRating(r core.Rating, commentText string) (uint64, error) {
 		if err := ratings.Put(rk, encodeRating(r, commentID)); err != nil {
 			return err
 		}
+		if err := markSoftwareDirty(tx, r.Software); err != nil {
+			return err
+		}
 		return tx.MustBucket(bucketRatingsByU).Put(ratingUserKey(r.UserID, r.Software), nil)
 	})
 	if err != nil {

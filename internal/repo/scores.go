@@ -172,7 +172,35 @@ func (s *Store) SetBootstrapPrior(id core.SoftwareID, p BootstrapPrior) error {
 		e.putFloat64(p.Score)
 		e.putInt64(int64(p.Votes))
 		e.putUint64(uint64(p.Behaviors))
+		if err := markSoftwareDirty(tx, id); err != nil {
+			return err
+		}
 		return tx.MustBucket(bucketPriors).Put(id[:], e.bytes())
+	})
+}
+
+// ForEachScoreRecord visits every published score record in identity
+// order, handing over the raw stored bytes. Tests use it to compare two
+// stores' published state byte for byte.
+func (s *Store) ForEachScoreRecord(fn func(id core.SoftwareID, raw []byte) bool) error {
+	return s.db.View(func(tx *storedb.Tx) error {
+		tx.MustBucket(bucketScores).ForEach(func(k, v []byte) bool {
+			var id core.SoftwareID
+			copy(id[:], k)
+			return fn(id, v)
+		})
+		return nil
+	})
+}
+
+// ForEachVendorScoreRecord visits every published vendor score record
+// in vendor order, handing over the raw stored bytes.
+func (s *Store) ForEachVendorScoreRecord(fn func(vendor string, raw []byte) bool) error {
+	return s.db.View(func(tx *storedb.Tx) error {
+		tx.MustBucket(bucketVendorScore).ForEach(func(k, v []byte) bool {
+			return fn(string(k), v)
+		})
+		return nil
 	})
 }
 

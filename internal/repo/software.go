@@ -79,12 +79,39 @@ func (s *Store) UpsertSoftware(meta core.SoftwareMeta, firstSeen time.Time) (boo
 		if err := sw.Put(meta.ID[:], encodeSoftware(rec)); err != nil {
 			return err
 		}
+		if err := markSoftwareDirty(tx, meta.ID); err != nil {
+			return err
+		}
 		if meta.VendorKnown() {
 			return tx.MustBucket(bucketSwByVendor).Put(vendorKey(meta.Vendor, meta.ID), nil)
 		}
 		return nil
 	})
 	return created, err
+}
+
+// HasSoftware reports whether an executable is on record, without
+// decoding it — the read half of the lookup fast path.
+func (s *Store) HasSoftware(id core.SoftwareID) (bool, error) {
+	var found bool
+	err := s.db.View(func(tx *storedb.Tx) error {
+		_, found = tx.MustBucket(bucketSoftware).Get(id[:])
+		return nil
+	})
+	return found, err
+}
+
+// EnsureSoftware records an executable only if it is genuinely new.
+// Unlike UpsertSoftware it checks existence under a read transaction
+// first, so the steady-state case — the executable is already known —
+// never takes the write lock or appends to the WAL. The upsert it falls
+// into on first sight re-checks under the write lock, so a racing
+// duplicate is still recorded exactly once.
+func (s *Store) EnsureSoftware(meta core.SoftwareMeta, firstSeen time.Time) (bool, error) {
+	if known, err := s.HasSoftware(meta.ID); err != nil || known {
+		return false, err
+	}
+	return s.UpsertSoftware(meta, firstSeen)
 }
 
 // GetSoftware fetches an executable record by identity.

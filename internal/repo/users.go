@@ -142,8 +142,42 @@ func (s *Store) UpdateUser(u User) error {
 		if old.EmailHash != u.EmailHash {
 			return fmt.Errorf("repo: e-mail hash is immutable")
 		}
+		if old.Trust != u.Trust {
+			// A trust change reweighs every vote this user ever cast;
+			// flag them so incremental aggregation revisits their
+			// software.
+			if err := markUserDirty(tx, u.Username); err != nil {
+				return err
+			}
+		}
 		return users.Put([]byte(u.Username), encodeUser(u))
 	})
+}
+
+// TrustForUsers fetches the trust factors of many users in one read
+// transaction — the batch form of GetUser().Trust.Value for report
+// assembly and incremental aggregation. Unknown users are omitted.
+func (s *Store) TrustForUsers(usernames []string) (map[string]float64, error) {
+	out := make(map[string]float64, len(usernames))
+	err := s.db.View(func(tx *storedb.Tx) error {
+		users := tx.MustBucket(bucketUsers)
+		for _, name := range usernames {
+			if _, ok := out[name]; ok {
+				continue
+			}
+			data, ok := users.Get([]byte(name))
+			if !ok {
+				continue
+			}
+			u, err := decodeUser(data)
+			if err != nil {
+				return err
+			}
+			out[name] = u.Trust.Value
+		}
+		return nil
+	})
+	return out, err
 }
 
 // ForEachUser visits every account in username order, stopping early if

@@ -33,13 +33,21 @@ type ExpertFeed struct {
 
 	mu      sync.RWMutex
 	entries map[core.SoftwareID]ExpertAdvice
+
+	// onPublish lets the owning server invalidate cached reports that
+	// would now carry different advice; nil on detached feeds.
+	onPublish func(core.SoftwareID)
 }
 
 // Publish inserts or replaces advice about one executable.
 func (f *ExpertFeed) Publish(a ExpertAdvice) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.entries[a.Software] = a
+	hook := f.onPublish
+	f.mu.Unlock()
+	if hook != nil {
+		hook(a.Software)
+	}
 }
 
 // Advice returns the feed's entry for an executable, if any.
@@ -63,7 +71,13 @@ func (s *Server) Feed(name string) *ExpertFeed {
 	defer s.mu.Unlock()
 	f, ok := s.feeds[name]
 	if !ok {
-		f = &ExpertFeed{Name: name, entries: make(map[core.SoftwareID]ExpertAdvice)}
+		f = &ExpertFeed{
+			Name:    name,
+			entries: make(map[core.SoftwareID]ExpertAdvice),
+			onPublish: func(id core.SoftwareID) {
+				s.reports.Invalidate(reportOwner(id))
+			},
+		}
 		s.feeds[name] = f
 	}
 	return f

@@ -300,7 +300,18 @@ func (s *Server) Lookup(meta core.SoftwareMeta) (Report, error) {
 // attached to the report. Unknown feed names are simply empty.
 func (s *Server) LookupWithFeeds(meta core.SoftwareMeta, feeds []string) (Report, error) {
 	var rep Report
-	created, err := s.store.UpsertSoftware(meta, s.clock.Now())
+	var created bool
+	var err error
+	if s.fastLookup.Load() {
+		// Steady state: the executable is already known, so the
+		// existence check under a read transaction is the whole
+		// registration step — no write lock, no WAL append. Only a
+		// genuine first sight falls into the upsert (which re-checks
+		// under the write lock).
+		created, err = s.store.EnsureSoftware(meta, s.clock.Now())
+	} else {
+		created, err = s.store.UpsertSoftware(meta, s.clock.Now())
+	}
 	if errors.Is(err, storedb.ErrReplica) {
 		// Replicas serve lookups from replicated state but cannot record
 		// first sightings; the primary registers the executable when it
@@ -344,15 +355,23 @@ func (s *Server) LookupWithFeeds(meta core.SoftwareMeta, feeds []string) (Report
 		rep.Comments = append(rep.Comments, c)
 	}
 
-	for _, name := range feeds {
+	if len(feeds) > 0 {
+		// One snapshot of the feed table for the whole loop, instead of
+		// a lock round trip per subscribed feed.
+		snapshot := make([]*ExpertFeed, len(feeds))
 		s.mu.Lock()
-		feed := s.feeds[name]
-		s.mu.Unlock()
-		if feed == nil {
-			continue
+		for i, name := range feeds {
+			snapshot[i] = s.feeds[name]
 		}
-		if advice, ok := feed.Advice(meta.ID); ok {
-			rep.Advice = append(rep.Advice, FeedAdvice{Feed: name, Advice: advice})
+		s.mu.Unlock()
+		for i, name := range feeds {
+			feed := snapshot[i]
+			if feed == nil {
+				continue
+			}
+			if advice, ok := feed.Advice(meta.ID); ok {
+				rep.Advice = append(rep.Advice, FeedAdvice{Feed: name, Advice: advice})
+			}
 		}
 	}
 	return rep, nil
@@ -368,7 +387,7 @@ func (s *Server) Vote(session string, meta core.SoftwareMeta, score int, behavio
 	if !s.allowVote(username, now) {
 		return 0, ErrVoteBudget
 	}
-	if _, err := s.store.UpsertSoftware(meta, now); err != nil {
+	if _, err := s.store.EnsureSoftware(meta, now); err != nil {
 		return 0, err
 	}
 	cid, err := s.store.AddRating(core.Rating{
@@ -381,6 +400,8 @@ func (s *Server) Vote(session string, meta core.SoftwareMeta, score int, behavio
 	if err != nil {
 		return 0, err
 	}
+	// The vote (and its comment) must show up in the very next lookup.
+	s.reports.Invalidate(reportOwner(meta.ID))
 	if cid != 0 && s.cfg.ModerateComments {
 		if err := s.store.SetCommentHidden(cid, true); err != nil {
 			return cid, err
@@ -396,14 +417,27 @@ func (s *Server) PendingComments() ([]core.Comment, error) {
 
 // ApproveComment releases a held comment for publication.
 func (s *Server) ApproveComment(id uint64) error {
-	return s.store.SetCommentHidden(id, false)
+	return s.moderateComment(id, false)
 }
 
 // RejectComment keeps a held comment permanently hidden. (The record is
 // retained: the vote behind it still counts, only the text stays
 // unpublished.)
 func (s *Server) RejectComment(id uint64) error {
-	return s.store.SetCommentHidden(id, true)
+	return s.moderateComment(id, true)
+}
+
+func (s *Server) moderateComment(id uint64, hidden bool) error {
+	if err := s.store.SetCommentHidden(id, hidden); err != nil {
+		return err
+	}
+	// The moderation decision changes which comments a report shows.
+	if c, found, err := s.store.GetComment(id); err == nil && found {
+		s.reports.Invalidate(reportOwner(c.Software))
+	} else {
+		s.reports.InvalidateAll()
+	}
+	return nil
 }
 
 // Remark records the session user's judgement of a comment and adjusts
@@ -428,7 +462,27 @@ func (s *Server) Remark(session string, commentID uint64, positive bool) error {
 		return fmt.Errorf("server: remark author %q: %w", author, err)
 	}
 	u.Trust = u.Trust.ApplyRemark(positive, now)
-	return s.store.UpdateUser(u)
+	if err := s.store.UpdateUser(u); err != nil {
+		return err
+	}
+	// The remark moved the comment's counters and the author's trust:
+	// the commented report changed, and so did the comment ordering on
+	// every report where this author appears — their rated software
+	// covers all of them (comments attach to votes).
+	if c, found, err := s.store.GetComment(commentID); err == nil && found {
+		s.reports.Invalidate(reportOwner(c.Software))
+	} else {
+		s.reports.InvalidateAll()
+		return nil
+	}
+	if ids, err := s.store.SoftwareRatedBy(author); err == nil {
+		for _, id := range ids {
+			s.reports.Invalidate(reportOwner(id))
+		}
+	} else {
+		s.reports.InvalidateAll()
+	}
+	return nil
 }
 
 // VendorReport returns a vendor's derived rating.

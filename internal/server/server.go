@@ -10,14 +10,15 @@ package server
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"softreputation/internal/core"
 	"softreputation/internal/identity"
+	"softreputation/internal/repcache"
 	"softreputation/internal/repo"
+	"softreputation/internal/storedb"
 	"softreputation/internal/vclock"
 )
 
@@ -87,6 +88,13 @@ type Config struct {
 	// ReplicaSource, when set on a replica, reports replication lag for
 	// /healthz (the replication puller implements it).
 	ReplicaSource ReplicaSource
+	// ReportCacheEntries sizes the lookup report cache: 0 selects
+	// repcache.DefaultEntries, a negative value disables caching.
+	ReportCacheEntries int
+	// FullAggregation makes the scheduled job use the full-rescan path
+	// instead of the incremental dirty-set recompute — the escape hatch
+	// behind the daemon's -full-aggregation flag.
+	FullAggregation bool
 }
 
 // Server is the reputation server. It is safe for concurrent use.
@@ -107,6 +115,12 @@ type Server struct {
 	// Replication role state (see health.go). primaryURL holds a string.
 	isReplica  atomic.Bool
 	primaryURL atomic.Value
+
+	// reports caches pre-encoded lookup responses; nil when disabled.
+	// fastLookup gates the whole read fast lane (write-free known checks,
+	// cache, batched trust) — cleared only by the E19 ablation.
+	reports    *repcache.Cache
+	fastLookup atomic.Bool
 
 	mu        sync.Mutex
 	sessions  map[string]string // session token -> username
@@ -164,12 +178,80 @@ func New(cfg Config) (*Server, error) {
 		aggPolicy:   policy,
 	}
 	srv.primaryURL.Store(cfg.PrimaryURL)
+	srv.fastLookup.Store(true)
+	if cfg.ReportCacheEntries >= 0 {
+		srv.reports = repcache.New(cfg.ReportCacheEntries)
+	}
 	if cfg.Replica {
 		srv.isReplica.Store(true)
 		cfg.Store.DB().SetReplicaMode(true)
 	}
+	// Replication applies batches underneath the server; attribute each
+	// one to the cached reports it can affect.
+	cfg.Store.DB().SetApplyHook(srv.onReplicatedBatch)
 	return srv, nil
 }
+
+// onReplicatedBatch invalidates cached reports affected by a batch the
+// replication tier applied (or by a snapshot restore, which arrives as
+// an op-less batch). It runs with the store's write lock held, so it
+// only performs read transactions.
+func (s *Server) onReplicatedBatch(b storedb.Batch) {
+	if s.reports == nil {
+		return
+	}
+	imp := repo.BatchImpact(b)
+	if imp.All {
+		s.reports.InvalidateAll()
+		return
+	}
+	drop := func(ids []core.SoftwareID, err error) bool {
+		if err != nil {
+			// Can't resolve the impact precisely; be safe.
+			s.reports.InvalidateAll()
+			return false
+		}
+		for _, id := range ids {
+			s.reports.Invalidate(reportOwner(id))
+		}
+		return true
+	}
+	for _, id := range imp.Software {
+		s.reports.Invalidate(reportOwner(id))
+	}
+	for _, u := range imp.Users {
+		// A user record change can move the author trust shown on their
+		// comments; comments hang off ratings, so their rated software
+		// covers every affected report.
+		if !drop(s.store.SoftwareRatedBy(u)) {
+			return
+		}
+	}
+	for _, v := range imp.Vendors {
+		if !drop(s.store.SoftwareByVendor(v)) {
+			return
+		}
+	}
+}
+
+// reportOwner is the cache-ownership key of one executable's reports.
+func reportOwner(id core.SoftwareID) string { return string(id[:]) }
+
+// SetLookupFastPath enables or disables the read fast lane (write-free
+// known-software checks, the report cache, batched trust fetches). It
+// exists so the E19 benchmark can measure the legacy
+// upsert-on-every-lookup path against the fast lane on one server;
+// production code has no reason to call it.
+func (s *Server) SetLookupFastPath(enabled bool) {
+	s.fastLookup.Store(enabled)
+	if !enabled {
+		s.reports.InvalidateAll()
+	}
+}
+
+// ReportCacheStats returns the report cache's counters (zero when the
+// cache is disabled).
+func (s *Server) ReportCacheStats() repcache.Stats { return s.reports.Stats() }
 
 // Store exposes the repository for admin tooling and experiments.
 func (s *Server) Store() *repo.Store { return s.store }
@@ -183,7 +265,8 @@ func (s *Server) Now() time.Time { return s.clock.Now() }
 
 // MaybeAggregate runs the aggregation job if a 24-hour period has
 // elapsed since the previous run (§3.2). It reports whether a run
-// happened.
+// happened. The incremental engine is used unless
+// Config.FullAggregation forces the rescan path.
 func (s *Server) MaybeAggregate() (bool, error) {
 	now := s.clock.Now()
 	s.mu.Lock()
@@ -192,114 +275,14 @@ func (s *Server) MaybeAggregate() (bool, error) {
 	if !due {
 		return false, nil
 	}
-	if err := s.RunAggregation(); err != nil {
+	run := s.RunIncrementalAggregation
+	if s.cfg.FullAggregation {
+		run = s.RunAggregation
+	}
+	if err := run(); err != nil {
 		return false, err
 	}
 	return true, nil
-}
-
-// RunAggregation recomputes every published software score with the
-// current trust factors, then derives vendor scores, and persists the
-// schedule. It is the §3.2 fixed-point job, runnable on demand for
-// admin tooling and experiments.
-func (s *Server) RunAggregation() error {
-	now := s.clock.Now()
-
-	// Trust factors are read once: each user's current factor weights
-	// all of their votes.
-	trust := make(map[string]float64)
-	err := s.store.ForEachUser(func(u repo.User) bool {
-		trust[u.Username] = u.Trust.Value
-		return true
-	})
-	if err != nil {
-		return fmt.Errorf("server: aggregation user scan: %w", err)
-	}
-
-	type vendorAcc struct {
-		scores []core.SoftwareScore
-	}
-	vendors := make(map[string]*vendorAcc)
-	var batch []core.SoftwareScore
-
-	var scanErr error
-	err = s.store.ForEachSoftware(func(sw repo.Software) bool {
-		ratings, err := s.store.RatingsForSoftware(sw.Meta.ID)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		votes := make([]core.WeightedVote, len(ratings))
-		behaviors := make([]core.Behavior, len(ratings))
-		for i, r := range ratings {
-			votes[i] = core.WeightedVote{Score: r.Score, Trust: trust[r.UserID]}
-			behaviors[i] = r.Behaviors
-		}
-		// A bootstrapped entry contributes its imported mass as prior
-		// votes (§2.1): early live votes are "one out of many, rather
-		// than the one and only".
-		pol := s.aggPolicy
-		var priorVotes int
-		var priorBehaviors core.Behavior
-		if prior, ok, err := s.store.GetBootstrapPrior(sw.Meta.ID); err != nil {
-			scanErr = err
-			return false
-		} else if ok {
-			pol.PriorVotes = float64(prior.Votes)
-			pol.PriorScore = prior.Score
-			priorVotes = prior.Votes
-			priorBehaviors = prior.Behaviors
-		}
-		score := core.SoftwareScore{
-			Software:   sw.Meta.ID,
-			Score:      pol.Aggregate(votes),
-			Votes:      len(votes) + priorVotes,
-			Behaviors:  pol.BehaviorConsensus(votes, behaviors) | priorBehaviors,
-			ComputedAt: now,
-		}
-		if len(votes) == 0 && priorVotes == 0 {
-			score.Score = 0
-		}
-		batch = append(batch, score)
-		if sw.Meta.VendorKnown() {
-			acc := vendors[sw.Meta.Vendor]
-			if acc == nil {
-				acc = &vendorAcc{}
-				vendors[sw.Meta.Vendor] = acc
-			}
-			acc.scores = append(acc.scores, score)
-		}
-		return true
-	})
-	if err != nil {
-		return fmt.Errorf("server: aggregation software scan: %w", err)
-	}
-	if scanErr != nil {
-		return fmt.Errorf("server: aggregation rating scan: %w", scanErr)
-	}
-
-	if err := s.store.SetScores(batch); err != nil {
-		return fmt.Errorf("server: publish scores: %w", err)
-	}
-	names := make([]string, 0, len(vendors))
-	for v := range vendors {
-		names = append(names, v)
-	}
-	sort.Strings(names)
-	for _, v := range names {
-		if err := s.store.SetVendorScore(core.AggregateVendor(v, vendors[v].scores)); err != nil {
-			return fmt.Errorf("server: publish vendor score: %w", err)
-		}
-	}
-
-	s.mu.Lock()
-	s.aggSched = s.aggSched.Ran(now)
-	sched := s.aggSched
-	s.mu.Unlock()
-	if err := s.store.SetAggregationState(sched); err != nil {
-		return fmt.Errorf("server: persist schedule: %w", err)
-	}
-	return nil
 }
 
 // BootstrapEntry seeds one program into the database before launch, the
@@ -355,6 +338,8 @@ func (s *Server) Bootstrap(entries []BootstrapEntry) error {
 			return fmt.Errorf("server: bootstrap vendor score: %w", err)
 		}
 	}
+	// Imported scores replace whatever reports were cached.
+	s.reports.InvalidateAll()
 	return nil
 }
 

@@ -72,9 +72,15 @@ type DB struct {
 
 	replicaMode atomic.Bool // writes refused; changes arrive via ApplyBatch
 
+	updates  atomic.Uint64 // committed local Update transactions
+	attempts atomic.Uint64 // Update transactions begun (write-lock acquisitions)
+
 	replMu  sync.Mutex // guards recent and commitC
 	recent  *batchRing // tail of committed batches for replication
 	commitC chan struct{}
+
+	applyMu   sync.Mutex // guards applyHook
+	applyHook func(Batch)
 
 	closed atomic.Bool
 }
@@ -159,6 +165,19 @@ func (db *DB) Close() error {
 // Len returns the number of keys currently committed, across all buckets.
 func (db *DB) Len() int { return db.current.Load().Len() }
 
+// UpdateCount returns the number of local Update transactions that have
+// committed a batch since the database was opened. Empty Updates and
+// replicated ApplyBatch commits do not count. Tests use this together
+// with Seq() to assert that a code path is write-free.
+func (db *DB) UpdateCount() uint64 { return db.updates.Load() }
+
+// WriteAttempts returns the number of Update transactions begun,
+// committed or not. Every one serialised on the write lock, so the
+// delta measures write-lock traffic even when the transaction turned
+// out to be an empty no-op — the cost the lookup fast path exists to
+// avoid.
+func (db *DB) WriteAttempts() uint64 { return db.attempts.Load() }
+
 // View runs fn in a read-only transaction over a consistent snapshot.
 func (db *DB) View(fn func(tx *Tx) error) error {
 	if db.closed.Load() {
@@ -187,6 +206,7 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 	if db.replicaMode.Load() {
 		return ErrReplica
 	}
+	db.attempts.Add(1)
 
 	tx := &Tx{db: db, tree: *db.current.Load(), writable: true}
 	if err := fn(tx); err != nil {
@@ -207,6 +227,7 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 	newTree := tx.tree
 	db.current.Store(&newTree)
 	db.seq.Store(batch.seq)
+	db.updates.Add(1)
 	db.noteCommit(batch)
 
 	db.pending++
@@ -279,6 +300,13 @@ type Tx struct {
 	done     bool
 	ops      []walOp
 }
+
+// CommitSeq returns the sequence number this write transaction will
+// commit as, assuming it commits any operations. Values written under
+// it are strictly increasing across commits, which makes them usable as
+// cheap record versions (e.g. "was this marker rewritten since I read
+// it?") without a separate counter key.
+func (tx *Tx) CommitSeq() uint64 { return tx.db.seq.Load() + 1 }
 
 // Bucket returns a handle to the named bucket. Buckets spring into being
 // on first write; reading a never-written bucket simply finds no keys.

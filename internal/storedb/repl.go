@@ -228,6 +228,29 @@ func (db *DB) Since(from uint64, max int, fn func(Batch) error) error {
 // errScanDone stops a WAL scan early once max batches were emitted.
 var errScanDone = fmt.Errorf("storedb: scan done")
 
+// SetApplyHook registers fn to run after every replicated commit: once
+// per ApplyBatch with the batch just applied, and once after
+// RestoreSnapshotFrom with an op-less Batch carrying the restored
+// sequence (meaning "the entire state was replaced"). The hook runs
+// with the write lock held, so it must not call Update, ApplyBatch,
+// Compact, or RestoreSnapshotFrom; View is safe. Servers use it to
+// invalidate derived caches when replication changes state underneath
+// them. A nil fn removes the hook.
+func (db *DB) SetApplyHook(fn func(Batch)) {
+	db.applyMu.Lock()
+	db.applyHook = fn
+	db.applyMu.Unlock()
+}
+
+func (db *DB) fireApplyHook(b Batch) {
+	db.applyMu.Lock()
+	fn := db.applyHook
+	db.applyMu.Unlock()
+	if fn != nil {
+		fn(b)
+	}
+}
+
 // ApplyBatch applies one batch shipped from the primary. Batches must
 // arrive strictly in order: a batch at or before the current sequence
 // is ignored (idempotent resume), the next sequence is applied and
@@ -269,6 +292,7 @@ func (db *DB) ApplyBatch(b Batch) error {
 	db.current.Store(&t)
 	db.seq.Store(b.Seq)
 	db.noteCommit(wb)
+	db.fireApplyHook(b)
 
 	db.pending++
 	if db.wal != nil && db.opts.CompactEvery > 0 && db.pending >= db.opts.CompactEvery {
@@ -341,6 +365,8 @@ func (db *DB) RestoreSnapshotFrom(r io.Reader) (uint64, error) {
 		db.commitC = nil
 	}
 	db.replMu.Unlock()
+	// An op-less batch tells the hook the whole state changed.
+	db.fireApplyHook(Batch{Seq: seq})
 	return seq, nil
 }
 
