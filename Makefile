@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke simulate verify
+.PHONY: build test vet staticcheck race bench bench-smoke simulate verify
 
 build:
 	$(GO) build ./...
@@ -11,21 +11,32 @@ test:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs when the binary is installed (CI installs it; local
+# builds without it skip with a note rather than fail — the repo takes
+# no dependency on having it present).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-smoke runs the E19 lookup-throughput benchmark once, as a cheap
-# regression tripwire for the read-path fast lane.
+# bench-smoke runs the E19 lookup-throughput and E20 overload benchmarks
+# once each, as cheap regression tripwires for the read-path fast lane
+# and the admission layer.
 bench-smoke:
-	$(GO) test -run=NONE -bench=E19 -benchtime=1x .
+	$(GO) test -run=NONE -bench='E19|E20' -benchtime=1x .
 
 simulate:
 	$(GO) run ./cmd/simulate -exp all -quick
 
 # verify is the gate for every change: tier-1 (build + test) plus vet,
-# the race detector, and the E19 benchmark smoke.
-verify: build vet race test bench-smoke
+# staticcheck, the race detector, and the benchmark smoke.
+verify: build vet staticcheck race test bench-smoke
 	@echo "verify: OK"

@@ -393,6 +393,31 @@ func BenchmarkE19LookupThroughput(b *testing.B) {
 	b.ReportMetric(float64(res.Fast.WriteTxns), "fast-write-txns")
 }
 
+// BenchmarkE20Overload measures overload survival: the full E20 grid
+// (1x and 10x offered load, static cap vs adaptive admission over a
+// contention-knee service profile). Headline metrics at 10x: goodput
+// for each arm, admitted p99, and the critical-lookup success rate —
+// the adaptive arm must hold it at ~100% while the static cap shreds
+// it.
+func BenchmarkE20Overload(b *testing.B) {
+	var res simulation.OverloadResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunOverload(simulation.DefaultOverloadConfig(20))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range res.Cells {
+		if c.Multiplier != 10 {
+			continue
+		}
+		b.ReportMetric(c.Goodput, c.Arm+"-goodput/s")
+		b.ReportMetric(float64(c.P99.Nanoseconds()), c.Arm+"-p99-ns")
+		b.ReportMetric(c.CriticalSuccess*100, c.Arm+"-critical-pct")
+	}
+}
+
 // BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
 // throughput into the embedded store through the full repository path.
 func BenchmarkE14StoredbIngest(b *testing.B) {

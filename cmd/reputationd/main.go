@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"softreputation/internal/admission"
 	"softreputation/internal/replication"
 	"softreputation/internal/repo"
 	"softreputation/internal/server"
@@ -51,7 +52,9 @@ func main() {
 	signupsPerIP := flag.Int("signups-per-ip", 0, "per-address daily signup budget (0 = unlimited)")
 	aggEvery := flag.Duration("aggregate-check", 10*time.Minute, "how often to check the 24h aggregation schedule")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline (0 disables)")
-	maxInflight := flag.Int("max-inflight", 256, "concurrent request cap before shedding 503s (0 = uncapped)")
+	maxInflight := flag.Int("max-inflight", 256, "concurrent request cap before shedding (0 = uncapped; the adaptive limiter's ceiling with -admission)")
+	adaptive := flag.Bool("admission", false, "adaptive priority-aware admission control instead of the static inflight cap")
+	latencyTarget := flag.Duration("admission-latency", 50*time.Millisecond, "handler latency the adaptive limiter steers toward")
 	grace := flag.Duration("grace", 10*time.Second, "drain window for in-flight requests at shutdown")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address for live profiling (empty disables)")
 	fullAgg := flag.Bool("full-aggregation", false, "aggregate with the full rescan instead of the incremental dirty-set engine")
@@ -97,6 +100,13 @@ func main() {
 		FullAggregation:       *fullAgg,
 		ReportCacheEntries:    *reportCache,
 		Mailer:                stdoutMailer{},
+	}
+	if *adaptive {
+		scfg.AdmissionControl = true
+		scfg.Admission = admission.Config{
+			MaxLimit:      *maxInflight,
+			LatencyTarget: *latencyTarget,
+		}
 	}
 	var repl *replication.Replica
 	if isReplica {

@@ -45,16 +45,23 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | health <url>")
+		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | health <url> | loadstatus <url>")
 	}
 
-	// health talks to a running server over HTTP, so it must not open
-	// the (single-process) store.
+	// health and loadstatus talk to a running server over HTTP, so they
+	// must not open the (single-process) store.
 	if args[0] == "health" {
 		if len(args) < 2 {
 			log.Fatal("reputectl: health needs a server base URL")
 		}
 		cmdHealth(args[1])
+		return
+	}
+	if args[0] == "loadstatus" {
+		if len(args) < 2 {
+			log.Fatal("reputectl: loadstatus needs a server base URL")
+		}
+		cmdLoadStatus(args[1])
 		return
 	}
 
@@ -305,6 +312,34 @@ func cmdHealth(base string) {
 	for _, r := range rs.Replicas {
 		fmt.Printf("  %-20s ack-seq %-8d lag %-6d snapshots %-3d last poll %s\n",
 			r.ID, r.AckSeq, r.Lag, r.Snapshots, r.LastPoll)
+	}
+}
+
+// cmdLoadStatus queries a running server's /healthz and prints its load
+// picture: inflight requests, the adaptive limiter's concurrency
+// estimate, the brownout level, and per-class admit/shed/throttle
+// counters. /healthz bypasses the admission gate, so this works
+// precisely when the server is shedding.
+func cmdLoadStatus(base string) {
+	base = strings.TrimRight(base, "/")
+	cl := &http.Client{Timeout: 5 * time.Second}
+
+	var h wire.HealthzResponse
+	if err := fetchXML(cl, base+wire.PathHealthz, &h); err != nil {
+		log.Fatalf("reputectl: healthz: %v", err)
+	}
+	fmt.Printf("inflight:  %d\n", h.Inflight)
+	fmt.Printf("draining:  %v\n", h.Draining)
+	if h.Brownout == "" {
+		fmt.Println("admission: static cap (adaptive admission disabled)")
+		return
+	}
+	fmt.Printf("limit:     %d\n", h.AdmitLimit)
+	fmt.Printf("brownout:  %s\n", h.Brownout)
+	fmt.Println("classes:")
+	for _, c := range h.Classes {
+		fmt.Printf("  %-12s admitted %-10d shed %-10d throttled %d\n",
+			c.Class, c.Admitted, c.Shed, c.Throttled)
 	}
 }
 

@@ -175,6 +175,13 @@ func experiments() []experiment {
 			}
 			return simulation.RunLookupPerf(cfg)
 		}},
+		{"e20", "E20: adaptive admission — priority-aware overload survival", func(seed int64, quick bool) (fmt.Stringer, error) {
+			cfg := simulation.DefaultOverloadConfig(seed)
+			if quick {
+				cfg = simulation.QuickOverloadConfig(seed)
+			}
+			return simulation.RunOverload(cfg)
+		}},
 	}
 }
 
@@ -209,6 +216,9 @@ func main() {
 	}
 	if want["lookupperf"] {
 		want["e19"] = true
+	}
+	if want["overload"] {
+		want["e20"] = true
 	}
 
 	matched := 0

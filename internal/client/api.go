@@ -76,6 +76,19 @@ func (a *API) WithResilience(e *resilience.Executor) *API {
 // Resilience returns the installed executor, nil when calls are direct.
 func (a *API) Resilience() *resilience.Executor { return a.exec }
 
+// priorityKey carries a request-priority header value on the context.
+type priorityKey struct{}
+
+// WithPriority returns a context whose API requests carry the given
+// priority header value (wire.PriorityCritical, wire.PriorityBackground).
+// The server's admission layer uses it to shed background traffic
+// before a lookup holding a frozen critical process (§4.2). The value
+// travels through retries and failover sweeps — it is a property of
+// the logical request, not of one attempt.
+func WithPriority(ctx context.Context, priority string) context.Context {
+	return context.WithValue(ctx, priorityKey{}, priority)
+}
+
 // do runs fn under the resilience executor when one is installed.
 func (a *API) do(ctx context.Context, fn func(ctx context.Context) error) error {
 	if a.exec != nil {
@@ -103,6 +116,9 @@ func (a *API) roundTrip(ctx context.Context, base, path string, body []byte, res
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", wire.ContentType)
+	}
+	if p, ok := ctx.Value(priorityKey{}).(string); ok && p != "" {
+		req.Header.Set(wire.HeaderPriority, p)
 	}
 	httpResp, err := a.http.Do(req)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"softreputation/internal/policy"
 	"softreputation/internal/signature"
 	"softreputation/internal/vclock"
+	"softreputation/internal/wire"
 )
 
 // Rating-prompt throttle defaults from §3.1: "The user is only asked to
@@ -328,6 +329,9 @@ func (c *Client) Prefetch(ctx context.Context, metas []core.SoftwareMeta) (int, 
 	if c.api == nil || c.cacheTTL <= 0 {
 		return 0, nil
 	}
+	// Prefetch is cache warming: the admission layer should shed it
+	// long before it touches a lookup holding a frozen process.
+	ctx = WithPriority(ctx, wire.PriorityBackground)
 	cached := 0
 	for _, meta := range metas {
 		rep, err := c.lookup(ctx, meta)
@@ -417,7 +421,14 @@ func (c *Client) OnExec(req hostsim.ExecRequest) hostsim.Decision {
 			c.stats.CacheHits++
 			c.mu.Unlock()
 		} else {
-			fetched, err := c.lookup(context.Background(), meta)
+			// A lookup for a frozen critical system process tells the
+			// server so: the admission layer admits it ahead of
+			// everything else, end to end with the fail-closed bypass.
+			lookupCtx := context.Background()
+			if req.Critical {
+				lookupCtx = WithPriority(lookupCtx, wire.PriorityCritical)
+			}
+			fetched, err := c.lookup(lookupCtx, meta)
 			if err == nil {
 				rep = fetched
 				haveReport = true

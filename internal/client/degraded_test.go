@@ -17,11 +17,13 @@ import (
 )
 
 // lookupStub is a minimal reputation server: every lookup answers a
-// known report with the configured score, unless the stub is down, in
-// which case it sheds 503s like the real load-shedding path.
+// known report with the configured score, unless the stub is down (503,
+// draining) or shedding (429, overloaded brownout) like the real
+// load-shedding paths.
 type lookupStub struct {
 	mu    sync.Mutex
 	down  bool
+	shed  bool
 	calls int
 	score float64
 }
@@ -32,6 +34,12 @@ func (s *lookupStub) setDown(v bool) {
 	s.down = v
 }
 
+func (s *lookupStub) setShedding(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shed = v
+}
+
 func (s *lookupStub) lookups() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -40,8 +48,8 @@ func (s *lookupStub) lookups() int {
 
 func (s *lookupStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	down := s.down
-	if !down && r.URL.Path == wire.PathLookup {
+	down, shed := s.down, s.shed
+	if !down && !shed && r.URL.Path == wire.PathLookup {
 		s.calls++
 	}
 	score := s.score
@@ -51,6 +59,13 @@ func (s *lookupStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", wire.ContentType)
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeUnavailable, Message: "down"})
+		return
+	}
+	if shed {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeOverloaded, Message: "shed"})
 		return
 	}
 	var req wire.LookupRequest

@@ -22,10 +22,13 @@ import (
 //     sweep probes /healthz looking for a freshly promoted primary
 //     before giving up.
 //
-// Endpoint-level failures (transport errors, 5xx, shedding 429) move
-// the sweep along; authoritative application answers (bad credentials,
-// not found, already rated) return immediately — another server would
-// say the same thing.
+// Endpoint-level failures (transport errors, 5xx) move the sweep
+// along; authoritative application answers (bad credentials, not
+// found, already rated) return immediately — another server would say
+// the same thing. A 429 shed is also terminal for the sweep: the
+// endpoint is alive and deliberately load-shedding, and hopping to the
+// next server would just push the overload around the tier — the
+// executor's backoff (honouring Retry-After) is the right response.
 type Failover struct {
 	api       *API
 	endpoints []string
@@ -97,11 +100,14 @@ func (f *Failover) candidates(first string) []string {
 
 // endpointFailure reports whether err means "this endpoint cannot
 // serve the request right now" — keep sweeping — as opposed to an
-// authoritative application answer every server would repeat.
+// answer that ends the sweep. 5xx and transport failures sweep on; a
+// 429 shed does not (retry this endpoint later, see the package
+// comment), and neither do application answers every server would
+// repeat.
 func endpointFailure(err error) bool {
 	var httpErr *resilience.HTTPStatusError
 	if errors.As(err, &httpErr) {
-		return httpErr.Status >= 500 || httpErr.Status == 429
+		return httpErr.Status >= 500
 	}
 	// No HTTP status at all: transport-level failure.
 	return true

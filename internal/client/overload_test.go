@@ -1,0 +1,227 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"softreputation/internal/core"
+	"softreputation/internal/hostsim"
+	"softreputation/internal/resilience"
+	"softreputation/internal/vclock"
+	"softreputation/internal/wire"
+)
+
+// Tests for the client side of the 429/503 overload split: sheds are
+// retried in place (no failover, no breaker trips), drains fail over,
+// and the degraded-mode cache carries decisions through a brownout.
+
+// shedStub is a reputation server that can be switched between serving
+// lookups, shedding them (429 overloaded), and draining (503
+// unavailable). It records the last priority header it saw.
+type shedStub struct {
+	mu           sync.Mutex
+	mode         string // "ok", "shed", "drain"
+	calls        int
+	lastPriority string
+}
+
+func (s *shedStub) setMode(m string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mode = m
+}
+
+func (s *shedStub) priority() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastPriority
+}
+
+func (s *shedStub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	mode := s.mode
+	s.calls++
+	if r.URL.Path == wire.PathLookup {
+		s.lastPriority = r.Header.Get(wire.HeaderPriority)
+	}
+	s.mu.Unlock()
+	switch mode {
+	case "shed":
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeOverloaded, Message: "shed"})
+	case "drain":
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeUnavailable, Message: "draining"})
+	default:
+		var req wire.LookupRequest
+		if err := wire.Decode(r.Body, &req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ContentType)
+		_ = wire.Encode(w, &wire.LookupResponse{Known: true, ID: req.Software.ID, Score: 8, Votes: 12})
+	}
+}
+
+func TestBreakerClosedOnShedsOpensOnOutage(t *testing.T) {
+	stub := &shedStub{}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+
+	clock := vclock.NewVirtual(vclock.Epoch)
+	breaker := resilience.NewBreaker(2, time.Minute, clock)
+	api := NewAPI(ts.URL, ts.Client()).WithResilience(resilience.NewExecutor(
+		resilience.Policy{MaxAttempts: 2, BaseDelay: 100 * time.Millisecond, Multiplier: 2},
+		breaker, clock, 1,
+	))
+	meta := core.SoftwareMeta{ID: core.ComputeSoftwareID([]byte{1, 2, 3}), FileName: "a.exe", FileSize: 3}
+
+	// A storm of 429 sheds: every call fails, the breaker never trips.
+	stub.setMode("shed")
+	for i := 0; i < 6; i++ {
+		if _, err := api.Lookup(context.Background(), meta); err == nil {
+			t.Fatal("shed lookup unexpectedly succeeded")
+		}
+	}
+	if breaker.State() != resilience.Closed {
+		t.Fatalf("breaker = %v after sheds, want closed", breaker.State())
+	}
+	if opens := breaker.Stats().Opens; opens != 0 {
+		t.Fatalf("breaker opened %d times on deliberate sheds", opens)
+	}
+
+	// A real outage still trips it.
+	stub.setMode("drain")
+	for i := 0; i < 2; i++ {
+		_, _ = api.Lookup(context.Background(), meta)
+	}
+	if breaker.State() != resilience.Open {
+		t.Fatalf("breaker = %v after real 503s, want open", breaker.State())
+	}
+}
+
+func TestShedDoesNotFailOverDrainDoes(t *testing.T) {
+	stub := &shedStub{}
+	shedTS := httptest.NewServer(stub)
+	defer shedTS.Close()
+	var backupHits int64
+	backupTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&backupHits, 1)
+		w.Header().Set("Content-Type", wire.ContentType)
+		_ = wire.Encode(w, &wire.StatsResponse{Users: 1})
+	}))
+	defer backupTS.Close()
+
+	api := NewFailoverAPI([]string{shedTS.URL, backupTS.URL}, nil)
+
+	// 429 from the first endpoint ends the read sweep: overload is not
+	// an invitation to move the herd to the next server.
+	stub.setMode("shed")
+	_, err := api.Stats(context.Background())
+	if err == nil {
+		t.Fatal("shed read unexpectedly succeeded")
+	}
+	if !resilience.IsShed(err) {
+		t.Fatalf("err = %v, want a 429 shed", err)
+	}
+	if hits := atomic.LoadInt64(&backupHits); hits != 0 {
+		t.Fatalf("read failed over %d times on a 429 shed", hits)
+	}
+	if fo := api.Failover().Stats().ReadFailovers; fo != 0 {
+		t.Fatalf("read failovers = %d, want 0", fo)
+	}
+
+	// 503 (draining) from the same endpoint does fail over.
+	stub.setMode("drain")
+	if _, err := api.Stats(context.Background()); err != nil {
+		t.Fatalf("read with draining endpoint: %v", err)
+	}
+	if hits := atomic.LoadInt64(&backupHits); hits != 1 {
+		t.Fatalf("backup hits = %d, want 1", hits)
+	}
+	if fo := api.Failover().Stats().ReadFailovers; fo != 1 {
+		t.Fatalf("read failovers = %d, want 1", fo)
+	}
+}
+
+func TestStaleServeDuringBrownout(t *testing.T) {
+	// A warm-but-expired cache entry must carry the decision while the
+	// server sheds 429s — brownout on the server side shows up as
+	// degraded mode on the client side, without tripping the breaker.
+	f := newDegradedFixture(t, Config{CacheTTL: time.Hour})
+	path, exe := f.install(t, "brownout")
+	meta, _ := exe.Meta()
+	if _, err := f.client.Prefetch(context.Background(), []core.SoftwareMeta{meta}); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(2 * time.Hour)
+	f.stub.setShedding(true)
+
+	if res := f.exec(t, path); !res.Allowed {
+		t.Fatal("stale high-score report should allow during brownout")
+	}
+	st := f.client.Stats()
+	if st.StaleServes != 1 {
+		t.Fatalf("stale serves = %d, want 1", st.StaleServes)
+	}
+	if f.breaker.State() != resilience.Closed {
+		t.Fatalf("breaker = %v during brownout, want closed", f.breaker.State())
+	}
+	if *f.prompts != 0 {
+		t.Fatalf("prompted %d times during brownout with warm cache", *f.prompts)
+	}
+}
+
+func TestCriticalLookupCarriesPriorityHeader(t *testing.T) {
+	stub := &shedStub{}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+
+	clock := vclock.NewVirtual(vclock.Epoch)
+	c := New(Config{API: NewAPI(ts.URL, ts.Client()), Clock: clock, Policy: silentPolicy})
+	host := hostsim.NewHost("priority-host")
+	host.SetHook(c)
+	app := hostsim.Build(hostsim.Spec{FileName: "app.exe", Vendor: "Acme", Version: "1", Seed: 11})
+	sys := hostsim.Build(hostsim.Spec{FileName: "sys.exe", Vendor: "OS", Version: "1", Seed: 12})
+	host.Install("C:/Apps/app.exe", app)
+	host.Install("C:/Windows/sys.exe", sys)
+	host.MarkCritical("C:/Windows/sys.exe")
+
+	if _, err := host.Exec("C:/Apps/app.exe", clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if got := stub.priority(); got != "" {
+		t.Fatalf("ordinary lookup priority = %q, want none", got)
+	}
+	if _, err := host.Exec("C:/Windows/sys.exe", clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if got := stub.priority(); got != wire.PriorityCritical {
+		t.Fatalf("critical lookup priority = %q, want %q", got, wire.PriorityCritical)
+	}
+}
+
+func TestPrefetchCarriesBackgroundPriority(t *testing.T) {
+	stub := &shedStub{}
+	ts := httptest.NewServer(stub)
+	defer ts.Close()
+
+	c := New(Config{API: NewAPI(ts.URL, ts.Client()), Clock: vclock.NewVirtual(vclock.Epoch), CacheTTL: time.Hour})
+	exe := hostsim.Build(hostsim.Spec{FileName: "warm.exe", Vendor: "Acme", Version: "1", Seed: 13})
+	meta, _ := exe.Meta()
+	if _, err := c.Prefetch(context.Background(), []core.SoftwareMeta{meta}); err != nil {
+		t.Fatal(err)
+	}
+	if got := stub.priority(); got != wire.PriorityBackground {
+		t.Fatalf("prefetch priority = %q, want %q", got, wire.PriorityBackground)
+	}
+}

@@ -97,9 +97,12 @@ func (b *Breaker) Allow() error {
 
 // Record reports a call's outcome. Only transient failures (see
 // Retryable) count against the circuit: a 4xx answer proves the server
-// is alive and resets the failure streak like a success.
+// is alive and resets the failure streak like a success — and so does a
+// 429 shed, which is the server deliberately refusing work it could not
+// finish in time. Tripping on sheds would turn a brownout into a full
+// self-inflicted outage.
 func (b *Breaker) Record(err error) {
-	failure := err != nil && Retryable(err)
+	failure := err != nil && Retryable(err) && !IsShed(err)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {

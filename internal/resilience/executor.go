@@ -76,10 +76,15 @@ func (e *Executor) Do(ctx context.Context, op func(ctx context.Context) error) e
 		if attempt > 0 {
 			e.mu.Lock()
 			d := e.retry.delay(attempt, e.rng)
-			e.mu.Unlock()
 			if hint, ok := RetryAfterHint(err); ok && hint > d {
-				d = hint
+				// Honour the hint, but never exactly: Retry-After is
+				// whole seconds, so shed clients often receive the same
+				// value and would reconverge into the spike that got
+				// them shed. Each executor's own rng spreads retries
+				// across [hint, 1.25*hint].
+				d = hint + time.Duration(e.rng.Int63n(int64(hint)/4+1))
 			}
+			e.mu.Unlock()
 			if serr := e.sleeper.Sleep(ctx, d); serr != nil {
 				return serr
 			}

@@ -126,6 +126,16 @@ func Retryable(err error) bool {
 	return true
 }
 
+// IsShed reports whether an error is a deliberate overload shed (HTTP
+// 429): the server is alive and chose not to serve this request. Sheds
+// are retryable (with backoff, honouring Retry-After) but are not
+// evidence of a dead endpoint — the circuit breaker must not trip on
+// them and the failover client must not abandon the endpoint.
+func IsShed(err error) bool {
+	var se *HTTPStatusError
+	return errors.As(err, &se) && se.Status == 429
+}
+
 // RetryAfterHint extracts the server's Retry-After suggestion from an
 // error, when one was sent.
 func RetryAfterHint(err error) (time.Duration, bool) {

@@ -258,8 +258,82 @@ func TestExecutorHonoursRetryAfter(t *testing.T) {
 		}
 		return nil
 	})
-	if got := clock.Now().Sub(vclock.Epoch); got != 5*time.Second {
-		t.Fatalf("waited %v, want the 5s Retry-After hint", got)
+	hint := 5 * time.Second
+	if got := clock.Now().Sub(vclock.Epoch); got < hint || got > hint+hint/4 {
+		t.Fatalf("waited %v, want within [hint, 1.25*hint] of the 5s Retry-After", got)
+	}
+}
+
+func TestExecutorJittersRetryAfterHint(t *testing.T) {
+	// Different executors (different jitter seeds) receiving the same
+	// Retry-After hint must not wake up at the same instant — the hint
+	// is a floor, not a schedule.
+	hint := 4 * time.Second
+	overloaded := &HTTPStatusError{Status: 429, RetryAfter: hint, Err: errors.New("overloaded")}
+	waits := make(map[time.Duration]bool)
+	for seed := int64(1); seed <= 8; seed++ {
+		clock := vclock.NewVirtual(vclock.Epoch)
+		e := NewExecutor(Policy{MaxAttempts: 2, BaseDelay: time.Millisecond}, nil, clock, seed)
+		attempts := 0
+		e.Do(context.Background(), func(context.Context) error {
+			attempts++
+			if attempts == 1 {
+				return overloaded
+			}
+			return nil
+		})
+		got := clock.Now().Sub(vclock.Epoch)
+		if got < hint || got > hint+hint/4 {
+			t.Fatalf("seed %d waited %v, want within [hint, 1.25*hint]", seed, got)
+		}
+		waits[got] = true
+	}
+	if len(waits) < 2 {
+		t.Fatalf("all executors retried in lockstep at %v", waits)
+	}
+}
+
+func TestIsShedClassification(t *testing.T) {
+	shed := &HTTPStatusError{Status: 429, Err: errors.New("overloaded")}
+	if !IsShed(shed) {
+		t.Fatal("429 not classified as shed")
+	}
+	if !Retryable(shed) {
+		t.Fatal("sheds must stay retryable")
+	}
+	for _, err := range []error{
+		&HTTPStatusError{Status: 503, Err: errors.New("draining")},
+		&HTTPStatusError{Status: 500, Err: errors.New("boom")},
+		errors.New("connection refused"),
+		nil,
+	} {
+		if IsShed(err) {
+			t.Fatalf("IsShed(%v) = true", err)
+		}
+	}
+}
+
+func TestBreakerShedsDoNotTrip(t *testing.T) {
+	b := NewBreaker(2, time.Minute, vclock.NewVirtual(vclock.Epoch))
+	shed := &HTTPStatusError{Status: 429, Err: errors.New("overloaded")}
+	for i := 0; i < 10; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatal("breaker tripped on 429 sheds")
+		}
+		b.Record(shed)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+
+	// A shed also resets the failure streak: the server answered, so it
+	// is not on the way down.
+	fail := errors.New("connection refused")
+	b.Record(fail)
+	b.Record(shed)
+	b.Record(fail)
+	if b.State() != Closed {
+		t.Fatal("interleaved sheds did not reset the failure streak")
 	}
 }
 

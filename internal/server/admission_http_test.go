@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"softreputation/internal/admission"
+	"softreputation/internal/core"
+	"softreputation/internal/wire"
+)
+
+// Tests for the adaptive admission layer's HTTP integration: request
+// classification, the brownout ladder's effect on responses, the lean
+// report path, and the /healthz observability fields.
+
+// newAdmissionFixture builds an HTTP fixture with admission control on
+// and the evaluation window frozen, so forced brownout levels stay put
+// for the duration of a test.
+func newAdmissionFixture(t *testing.T, mutate func(*Config)) *httpFixture {
+	t.Helper()
+	return newHTTPFixtureWith(t, func(cfg *Config) {
+		cfg.AdmissionControl = true
+		cfg.Admission.EvalWindow = time.Hour
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+}
+
+func TestClassifyRequest(t *testing.T) {
+	cases := []struct {
+		path     string
+		priority string
+		want     admission.Class
+	}{
+		{wire.PathLookup, "", admission.Interactive},
+		{wire.PathLookup, wire.PriorityCritical, admission.Critical},
+		{wire.PathLookup, wire.PriorityBackground, admission.Background},
+		{wire.PathVendor, "", admission.Interactive},
+		{wire.PathVote, "", admission.Write},
+		// The critical marker only raises lookups: a vote can never
+		// claim a frozen critical process.
+		{wire.PathVote, wire.PriorityCritical, admission.Write},
+		{wire.PathLogin, "", admission.Write},
+		{wire.PathRegister, "", admission.Write},
+		{wire.PathStats, "", admission.Background},
+		{wire.PathReplWAL, "", admission.Background},
+		{"/", "", admission.Background},
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest(http.MethodPost, tc.path, nil)
+		if tc.priority != "" {
+			r.Header.Set(wire.HeaderPriority, tc.priority)
+		}
+		if got := classifyRequest(r); got != tc.want {
+			t.Errorf("classifyRequest(%s, priority=%q) = %v, want %v", tc.path, tc.priority, got, tc.want)
+		}
+	}
+}
+
+// postWithPriority sends a lookup with a priority header and returns
+// the raw HTTP response.
+func (f *httpFixture) postWithPriority(path, priority string, req interface{}) *http.Response {
+	f.t.Helper()
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf, req); err != nil {
+		f.t.Fatal(err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, f.ts.URL+path, &buf)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", wire.ContentType)
+	if priority != "" {
+		httpReq.Header.Set(wire.HeaderPriority, priority)
+	}
+	resp, err := f.client.Do(httpReq)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return resp
+}
+
+func TestBrownoutCriticalOnlySheds429(t *testing.T) {
+	f := newAdmissionFixture(t, nil)
+	f.srv.Admission().SetLevel(admission.LevelCriticalOnly)
+
+	// Background traffic is shed with 429 + Retry-After + overloaded.
+	resp, err := f.client.Get(f.ts.URL + wire.PathStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("stats status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	var werr wire.ErrorResponse
+	if err := wire.Decode(resp.Body, &werr); err != nil {
+		t.Fatalf("shed body: %v", err)
+	}
+	if werr.Code != wire.CodeOverloaded {
+		t.Fatalf("code = %q, want %q", werr.Code, wire.CodeOverloaded)
+	}
+
+	// A critical-priority lookup still gets through.
+	look := f.postWithPriority(wire.PathLookup, wire.PriorityCritical,
+		wire.LookupRequest{Software: wireMeta(41)})
+	defer look.Body.Close()
+	if look.StatusCode != http.StatusOK {
+		t.Fatalf("critical lookup status = %d, want 200", look.StatusCode)
+	}
+
+	// An ordinary lookup does not.
+	plain := f.postWithPriority(wire.PathLookup, "",
+		wire.LookupRequest{Software: wireMeta(41)})
+	defer plain.Body.Close()
+	if plain.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("plain lookup status = %d, want 429", plain.StatusCode)
+	}
+
+	// Healthz stays observable while everything else is shed.
+	var hz wire.HealthzResponse
+	if err := f.get(wire.PathHealthz, &hz); err != nil {
+		t.Fatalf("healthz during brownout: %v", err)
+	}
+	if hz.Brownout != admission.LevelCriticalOnly.String() {
+		t.Fatalf("healthz brownout = %q, want %q", hz.Brownout, admission.LevelCriticalOnly)
+	}
+
+	// Recovery restores service.
+	f.srv.Admission().SetLevel(admission.LevelFull)
+	if err := f.get(wire.PathStats, &wire.StatsResponse{}); err != nil {
+		t.Fatalf("stats after recovery: %v", err)
+	}
+}
+
+func TestBrownoutLeanReports(t *testing.T) {
+	f := newAdmissionFixture(t, nil)
+	session := f.signupOverHTTP("alice")
+
+	meta := wireMeta(7)
+	if err := f.post(wire.PathVote, wire.VoteRequest{
+		Session: session, Software: meta, Score: 8,
+		Behaviors: core.BehaviorDisplaysAds.String(),
+		Comment:   "works fine, shows ads",
+	}, &wire.VoteResponse{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Under LevelCacheOnly a cache miss gets a lean report: known, but
+	// no comments.
+	f.srv.Admission().SetLevel(admission.LevelCacheOnly)
+	lean := f.lookup(meta)
+	if !lean.Known {
+		t.Fatal("lean report lost the Known flag")
+	}
+	if len(lean.Comments) != 0 {
+		t.Fatalf("lean report carries %d comments, want 0", len(lean.Comments))
+	}
+
+	// The lean bytes must not have been cached: back at LevelFull the
+	// same request gets the full report, comment included.
+	f.srv.Admission().SetLevel(admission.LevelFull)
+	full := f.lookup(meta)
+	if len(full.Comments) != 1 {
+		t.Fatalf("post-brownout report carries %d comments, want 1", len(full.Comments))
+	}
+
+	// A report cached before the brownout keeps serving during it: the
+	// hit is cheap, only misses go lean.
+	f.srv.Admission().SetLevel(admission.LevelCacheOnly)
+	cached := f.lookup(meta)
+	if len(cached.Comments) != 1 {
+		t.Fatalf("cached report during brownout carries %d comments, want 1", len(cached.Comments))
+	}
+}
+
+func TestHealthzReportsAdmission(t *testing.T) {
+	f := newAdmissionFixture(t, nil)
+	f.lookup(wireMeta(3))
+
+	var hz wire.HealthzResponse
+	if err := f.get(wire.PathHealthz, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Brownout != admission.LevelFull.String() {
+		t.Fatalf("brownout = %q, want %q", hz.Brownout, admission.LevelFull)
+	}
+	if hz.AdmitLimit <= 0 {
+		t.Fatalf("admit-limit = %d, want > 0", hz.AdmitLimit)
+	}
+	if len(hz.Classes) != int(admission.NumClasses) {
+		t.Fatalf("classes = %d, want %d", len(hz.Classes), admission.NumClasses)
+	}
+	var interactive *wire.AdmissionClassInfo
+	for i := range hz.Classes {
+		if hz.Classes[i].Class == admission.Interactive.String() {
+			interactive = &hz.Classes[i]
+		}
+	}
+	if interactive == nil || interactive.Admitted == 0 {
+		t.Fatalf("interactive class counters = %+v", hz.Classes)
+	}
+}
+
+func TestAdmissionThrottlesPrincipal(t *testing.T) {
+	f := newAdmissionFixture(t, func(cfg *Config) {
+		cfg.Admission.BucketRate = 0.001 // effectively no refill in-test
+		cfg.Admission.BucketBurst = 2
+	})
+
+	var last *http.Response
+	for i := 0; i < 3; i++ {
+		resp, err := f.client.Get(f.ts.URL + wire.PathStats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		last = resp
+	}
+	if last.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request from one principal = %d, want 429", last.StatusCode)
+	}
+	st := f.srv.Admission().Snapshot()
+	if st.Classes[admission.Background].Throttled == 0 {
+		t.Fatal("throttled counter did not move")
+	}
+}
+
+func TestAdmissionConcurrentHTTP(t *testing.T) {
+	// Exercise the full HTTP admission path concurrently (for -race):
+	// mixed classes, small limit, tiny queues — outcomes may be 200 or
+	// 429, never anything else.
+	f := newAdmissionFixture(t, func(cfg *Config) {
+		cfg.Admission.MaxLimit = 4
+		cfg.Admission.InitialLimit = 4
+		cfg.Admission.QueueDepth = 2
+	})
+	paths := []struct {
+		path     string
+		priority string
+	}{
+		{wire.PathStats, ""},
+		{wire.PathLookup, ""},
+		{wire.PathLookup, wire.PriorityCritical},
+		{wire.PathLookup, wire.PriorityBackground},
+	}
+	done := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			var firstErr error
+			for i := 0; i < 10 && firstErr == nil; i++ {
+				p := paths[(g+i)%len(paths)]
+				var resp *http.Response
+				var err error
+				if p.path == wire.PathLookup {
+					var buf bytes.Buffer
+					if err = wire.Encode(&buf, wire.LookupRequest{Software: wireMeta(byte(i))}); err != nil {
+						firstErr = err
+						break
+					}
+					req, rerr := http.NewRequest(http.MethodPost, f.ts.URL+p.path, &buf)
+					if rerr != nil {
+						firstErr = rerr
+						break
+					}
+					req.Header.Set("Content-Type", wire.ContentType)
+					if p.priority != "" {
+						req.Header.Set(wire.HeaderPriority, p.priority)
+					}
+					resp, err = f.client.Do(req)
+				} else {
+					resp, err = f.client.Get(f.ts.URL + p.path)
+				}
+				if err != nil {
+					firstErr = err
+					break
+				}
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					firstErr = errors.New(resp.Status)
+				}
+				resp.Body.Close()
+			}
+			done <- firstErr
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("unexpected response: %v", err)
+		}
+	}
+}

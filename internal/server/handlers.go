@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"softreputation/internal/admission"
 	"softreputation/internal/core"
 	"softreputation/internal/identity"
 	"softreputation/internal/repo"
@@ -250,8 +251,14 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// Brownout: at LevelCacheOnly and above, cache hits still serve the
+	// full pre-encoded report (cheap), but misses get a lean report —
+	// score and vendor rating only — built without the comment and feed
+	// work, and never cached so a recovered server goes back to full
+	// reports immediately.
+	lean := s.admit != nil && s.admit.Level() >= admission.LevelCacheOnly
 	fill := func() ([]byte, bool, error) {
-		resp, err := s.buildLookupResponse(meta, req.Feeds, fast)
+		resp, err := s.buildLookupResponse(meta, req.Feeds, fast, lean)
 		if err != nil {
 			return nil, false, err
 		}
@@ -260,8 +267,10 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 			return nil, false, err
 		}
 		// First-sight responses carry Known=false, which must flip to
-		// true on the next lookup — never cache them.
-		return buf.Bytes(), resp.Known, nil
+		// true on the next lookup — never cache them. Lean brownout
+		// reports are equally uncacheable: they must not outlive the
+		// brownout.
+		return buf.Bytes(), resp.Known && !lean, nil
 	}
 	var data []byte
 	if fast {
@@ -303,8 +312,14 @@ func reportCacheKey(id core.SoftwareID, feeds []string) string {
 // mode the comment authors' trust factors are batch-fetched in a
 // single read transaction; the slow path keeps the per-comment fetch
 // as the E19 ablation baseline.
-func (s *Server) buildLookupResponse(meta core.SoftwareMeta, feeds []string, fast bool) (*wire.LookupResponse, error) {
-	rep, err := s.LookupWithFeeds(meta, feeds)
+func (s *Server) buildLookupResponse(meta core.SoftwareMeta, feeds []string, fast, lean bool) (*wire.LookupResponse, error) {
+	var rep Report
+	var err error
+	if lean {
+		rep, err = s.LookupLean(meta)
+	} else {
+		rep, err = s.LookupWithFeeds(meta, feeds)
+	}
 	if err != nil {
 		return nil, err
 	}

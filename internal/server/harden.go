@@ -1,17 +1,30 @@
 package server
 
 import (
+	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"softreputation/internal/admission"
 	"softreputation/internal/wire"
 )
 
 // Hardening state: the load-shedding gate and the draining flag live
 // on the Server so admin tooling and the shutdown path can flip them
 // while requests are in flight.
+//
+// Two distinct refusals leave this file, and clients treat them
+// differently:
+//
+//   - 503 CodeUnavailable: the server is draining for shutdown. Clients
+//     fail over to another endpoint immediately.
+//   - 429 CodeOverloaded: the admission layer (or the legacy static
+//     cap) shed the request. The server is alive; clients back off and
+//     retry the same endpoint, and the circuit breaker does not count
+//     it as a failure.
 
 // SetDraining marks the server as draining: every new request is
 // answered 503 + Retry-After so clients fail over immediately, while
@@ -28,31 +41,129 @@ func (s *Server) SetDraining(v bool) {
 // Draining reports whether new requests are being refused.
 func (s *Server) Draining() bool { return atomic.LoadInt32(&s.draining) == 1 }
 
-// ShedCount returns how many requests were answered 503 by the
-// load-shedding gate (inflight cap or draining).
+// ShedCount returns how many requests were refused by the shedding
+// gates (drain, static cap, or admission).
 func (s *Server) ShedCount() int64 { return atomic.LoadInt64(&s.shed) }
 
 // InflightRequests returns how many requests are currently inside the
 // handler chain.
 func (s *Server) InflightRequests() int64 { return atomic.LoadInt64(&s.inflight) }
 
-// writeUnavailable answers 503 with the XML error document and a
-// Retry-After hint the client's retry policy understands.
-func writeUnavailable(w http.ResponseWriter, retryAfter time.Duration, msg string) {
-	secs := int(retryAfter / time.Second)
+// Admission returns the adaptive admission controller, nil when the
+// server runs the legacy static cap.
+func (s *Server) Admission() *admission.Controller { return s.admit }
+
+// BrownoutLevel returns the current brownout level (LevelFull when
+// admission control is disabled).
+func (s *Server) BrownoutLevel() admission.Level {
+	if s.admit == nil {
+		return admission.LevelFull
+	}
+	return s.admit.Level()
+}
+
+// SetServiceDelay injects an artificial per-request service time inside
+// the handler chain. Like SetLookupFastPath it is an experiment hook —
+// E20 uses it to make handler cost real so the limiter has a latency
+// signal to adapt to; production code has no reason to call it.
+func (s *Server) SetServiceDelay(d time.Duration) {
+	atomic.StoreInt64(&s.serviceDelay, int64(d))
+}
+
+// SetServiceProfile is SetServiceDelay with a concurrency knee: up to
+// knee concurrent requests each cost d, beyond it the per-request cost
+// grows quadratically with concurrency — the contention collapse (lock
+// convoys, GC pressure, cache thrash) that makes a fixed inflight cap
+// the wrong tool and gives an adaptive limiter something to find.
+// knee <= 0 restores the flat profile.
+func (s *Server) SetServiceProfile(d time.Duration, knee int) {
+	atomic.StoreInt64(&s.serviceKnee, int64(knee))
+	atomic.StoreInt64(&s.serviceDelay, int64(d))
+}
+
+// retryAfterSeconds renders a Retry-After hint with bounded jitter:
+// uniform in [base, 2*base] whole seconds. A constant hint makes every
+// shed client retry in lockstep, re-creating the spike that caused the
+// shed; the spread de-synchronizes the herd even before the client's
+// own retry jitter applies.
+func retryAfterSeconds(base time.Duration) string {
+	secs := int(base / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	return strconv.Itoa(secs + rand.Intn(secs+1))
+}
+
+// writeUnavailable answers 503 with the XML error document: the server
+// is going away and the client should fail over now.
+func writeUnavailable(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
 	w.Header().Set("Content-Type", wire.ContentType)
 	w.WriteHeader(http.StatusServiceUnavailable)
 	_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeUnavailable, Message: msg})
 }
 
-// shedMiddleware refuses work the server cannot absorb: when draining,
-// or when MaxInflight requests are already being served, new requests
-// get an immediate 503 + Retry-After instead of queueing behind a
-// saturated handler pool.
+// writeOverloaded answers 429 with the XML error document: the server
+// is alive but shedding; the client should back off and retry here.
+func writeOverloaded(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeOverloaded, Message: msg})
+}
+
+// bypassAdmission reports whether a path skips the admission gate: the
+// health endpoints must stay observable precisely when the server is
+// shedding, or operators lose sight of the overload they are debugging.
+func bypassAdmission(path string) bool {
+	return path == wire.PathHealthz || path == wire.PathReplStatus
+}
+
+// classifyRequest maps a request onto its admission class. The path
+// gives the default; the client's priority header can raise a lookup to
+// Critical (a frozen critical system process, §4.2) or lower any
+// request to Background (prefetch, feed polls).
+func classifyRequest(r *http.Request) admission.Class {
+	var class admission.Class
+	switch r.URL.Path {
+	case wire.PathLookup:
+		class = admission.Interactive
+	case wire.PathVendor:
+		// Vendor reports back the execution prompt, like lookups.
+		class = admission.Interactive
+	case wire.PathVote, wire.PathRemark, wire.PathLogin, wire.PathRegister,
+		wire.PathActivate, wire.PathChallenge:
+		class = admission.Write
+	default:
+		// Stats, replication pulls, the web view.
+		class = admission.Background
+	}
+	switch r.Header.Get(wire.HeaderPriority) {
+	case wire.PriorityCritical:
+		if class == admission.Interactive {
+			class = admission.Critical
+		}
+	case wire.PriorityBackground:
+		class = admission.Background
+	}
+	return class
+}
+
+// requestPrincipal identifies the client for per-principal throttling:
+// the remote host, held in memory only (the §2.2 no-IPs rule covers the
+// store, not the admission gate's transient buckets).
+func requestPrincipal(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// shedMiddleware refuses work the server cannot absorb. Draining
+// answers 503 (fail over). Overload answers 429 (back off, retry
+// here) — from the adaptive admission controller when configured,
+// otherwise from the legacy static MaxInflight cap.
 func (s *Server) shedMiddleware(next http.Handler) http.Handler {
 	retryAfter := s.cfg.ShedRetryAfter
 	if retryAfter <= 0 {
@@ -67,9 +178,24 @@ func (s *Server) shedMiddleware(next http.Handler) http.Handler {
 		}
 		n := atomic.AddInt64(&s.inflight, 1)
 		defer atomic.AddInt64(&s.inflight, -1)
+		if s.admit != nil {
+			if bypassAdmission(r.URL.Path) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			tk, err := s.admit.Admit(r.Context(), classifyRequest(r), requestPrincipal(r))
+			if err != nil {
+				atomic.AddInt64(&s.shed, 1)
+				writeOverloaded(w, retryAfter, err.Error())
+				return
+			}
+			defer tk.Done()
+			next.ServeHTTP(w, r)
+			return
+		}
 		if max > 0 && n > max {
 			atomic.AddInt64(&s.shed, 1)
-			writeUnavailable(w, retryAfter, "server overloaded, retry later")
+			writeOverloaded(w, retryAfter, "server overloaded, retry later")
 			return
 		}
 		next.ServeHTTP(w, r)
@@ -88,9 +214,32 @@ func (s *Server) timeoutMiddleware(next http.Handler) http.Handler {
 	return http.TimeoutHandler(next, s.cfg.RequestTimeout, body)
 }
 
+// delayMiddleware injects the SetServiceDelay / SetServiceProfile
+// experiment cost inside the admission gate, so the limiter observes it
+// as handler latency. Only admitted requests reach this layer, so the
+// contention model sees admitted concurrency, not shed traffic. Health
+// endpoints stay instant.
+func (s *Server) delayMiddleware(next http.Handler) http.Handler {
+	const delayCeiling = 250 * time.Millisecond
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := time.Duration(atomic.LoadInt64(&s.serviceDelay)); d > 0 && !bypassAdmission(r.URL.Path) {
+			n := atomic.AddInt64(&s.delayInflight, 1)
+			if k := atomic.LoadInt64(&s.serviceKnee); k > 0 && n > k {
+				d = d * time.Duration(n*n) / time.Duration(k*k)
+				if d > delayCeiling {
+					d = delayCeiling
+				}
+			}
+			time.Sleep(d)
+			atomic.AddInt64(&s.delayInflight, -1)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
 // harden wraps the raw mux in the shed and timeout layers. The shed
 // gate sits outside so a drained or overloaded server answers without
 // burning a handler slot.
 func (s *Server) harden(next http.Handler) http.Handler {
-	return s.shedMiddleware(s.timeoutMiddleware(next))
+	return s.shedMiddleware(s.timeoutMiddleware(s.delayMiddleware(next)))
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -97,17 +98,34 @@ func TestMaxInflightSheds(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("status = %d, want 503 shed", resp.StatusCode)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 shed", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") != "2" {
-		t.Fatalf("Retry-After = %q, want 2", resp.Header.Get("Retry-After"))
+	// Retry-After carries bounded jitter: uniform in [base, 2*base].
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 2 || secs > 4 {
+		t.Fatalf("Retry-After = %q, want 2..4", resp.Header.Get("Retry-After"))
 	}
-	if !strings.Contains(string(body), wire.CodeUnavailable) {
+	if !strings.Contains(string(body), wire.CodeOverloaded) {
 		t.Fatalf("body = %q", body)
 	}
 	close(release)
 	wg.Wait()
+}
+
+func TestRetryAfterJitterBounded(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		v := retryAfterSeconds(2 * time.Second)
+		secs, err := strconv.Atoi(v)
+		if err != nil || secs < 2 || secs > 4 {
+			t.Fatalf("retryAfterSeconds = %q, want 2..4", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("no jitter observed: always %v", seen)
+	}
 }
 
 func TestRequestTimeoutAnswers503(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"softreputation/internal/admission"
 	"softreputation/internal/wire"
 )
 
@@ -106,14 +107,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	writeXML(w, &wire.HealthzResponse{
+	resp := &wire.HealthzResponse{
 		Role:     s.Role(),
 		Primary:  s.PrimaryURL(),
 		Seq:      s.store.Seq(),
 		Lag:      s.replLag(),
 		Draining: s.Draining(),
 		Inflight: atomic.LoadInt64(&s.inflight),
-	})
+	}
+	if s.admit != nil {
+		resp.Brownout = s.admit.Level().String()
+		st := s.admit.Snapshot()
+		resp.AdmitLimit = st.Limit
+		for cl := admission.Critical; cl < admission.NumClasses; cl++ {
+			resp.Classes = append(resp.Classes, wire.AdmissionClassInfo{
+				Class:     cl.String(),
+				Admitted:  st.Classes[cl].Admitted,
+				Shed:      st.Classes[cl].Shed,
+				Throttled: st.Classes[cl].Throttled,
+			})
+		}
+	}
+	writeXML(w, resp)
 }
 
 // handleReplStatus answers GET /replstatus: this server's replication

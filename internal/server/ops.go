@@ -299,6 +299,19 @@ func (s *Server) Lookup(meta core.SoftwareMeta) (Report, error) {
 // each named expert feed, its advice about this executable (if any) is
 // attached to the report. Unknown feed names are simply empty.
 func (s *Server) LookupWithFeeds(meta core.SoftwareMeta, feeds []string) (Report, error) {
+	return s.lookupReport(meta, feeds, false)
+}
+
+// LookupLean is the brownout form of a lookup: the aggregated score and
+// vendor rating only — no comments, no feed advice. It is what a cache
+// miss gets while the admission layer is at LevelCacheOnly or above;
+// the answer still tells the user whether to run the executable, just
+// without the §2.1 commentary.
+func (s *Server) LookupLean(meta core.SoftwareMeta) (Report, error) {
+	return s.lookupReport(meta, nil, true)
+}
+
+func (s *Server) lookupReport(meta core.SoftwareMeta, feeds []string, lean bool) (Report, error) {
 	var rep Report
 	var created bool
 	var err error
@@ -342,6 +355,9 @@ func (s *Server) LookupWithFeeds(meta core.SoftwareMeta, feeds []string) (Report
 		} else {
 			rep.Vendor = core.VendorScore{Vendor: meta.Vendor}
 		}
+	}
+	if lean {
+		return rep, nil
 	}
 	comments, err := s.store.CommentsForSoftware(meta.ID)
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"softreputation/internal/admission"
 	"softreputation/internal/core"
 	"softreputation/internal/identity"
 	"softreputation/internal/repcache"
@@ -66,9 +67,22 @@ type Config struct {
 	// disables the per-request deadline.
 	RequestTimeout time.Duration
 	// MaxInflight caps concurrently served requests; excess requests
-	// are shed with 503 + Retry-After instead of queueing. 0 disables
-	// the cap.
+	// are shed with 429 + Retry-After instead of queueing. 0 disables
+	// the cap. With AdmissionControl set it bounds the adaptive limit
+	// instead (admission.Config.MaxLimit), unless Admission overrides
+	// it explicitly.
 	MaxInflight int
+	// AdmissionControl replaces the static MaxInflight cap with the
+	// adaptive, priority-aware admission layer (internal/admission):
+	// AIMD concurrency limiting from observed handler latency, deadline
+	// queues per priority class, per-principal token buckets, and the
+	// brownout ladder.
+	AdmissionControl bool
+	// Admission tunes the admission controller when AdmissionControl is
+	// set; zero fields select the package defaults. The controller runs
+	// on the wall clock regardless of Config.Clock — handler latency is
+	// a real-time quantity — unless Admission.Clock overrides it.
+	Admission admission.Config
 	// ShedRetryAfter is the Retry-After hint attached to shed
 	// responses; 0 defaults to one second.
 	ShedRetryAfter time.Duration
@@ -108,9 +122,16 @@ type Server struct {
 	cfg         Config
 
 	// Hardening state, manipulated atomically (see harden.go).
-	draining int32
-	inflight int64
-	shed     int64
+	draining      int32
+	inflight      int64
+	shed          int64
+	serviceDelay  int64 // experiment hook: injected handler cost, ns
+	serviceKnee   int64 // experiment hook: concurrency knee for the cost model
+	delayInflight int64 // requests currently inside the injected-cost section
+
+	// admit is the adaptive admission controller; nil when the legacy
+	// static cap is in force.
+	admit *admission.Controller
 
 	// Replication role state (see health.go). primaryURL holds a string.
 	isReplica  atomic.Bool
@@ -179,6 +200,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	srv.primaryURL.Store(cfg.PrimaryURL)
 	srv.fastLookup.Store(true)
+	if cfg.AdmissionControl {
+		ac := cfg.Admission
+		if ac.MaxLimit <= 0 && cfg.MaxInflight > 0 {
+			ac.MaxLimit = cfg.MaxInflight
+		}
+		srv.admit = admission.New(ac)
+	}
 	if cfg.ReportCacheEntries >= 0 {
 		srv.reports = repcache.New(cfg.ReportCacheEntries)
 	}

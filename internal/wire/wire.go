@@ -69,6 +69,26 @@ const (
 	// requested position has been compacted away; the replica must
 	// bootstrap from /repl/snapshot before resuming the stream.
 	CodeCompacted = "compacted"
+
+	// CodeOverloaded is returned (HTTP 429) when the admission layer
+	// sheds a request: the server is alive but deliberately refusing
+	// work it cannot finish in time. Clients should back off and retry
+	// the same endpoint — this is not a failover signal, unlike the 503
+	// CodeUnavailable emitted while draining.
+	CodeOverloaded = "overloaded"
+)
+
+// HeaderPriority carries the client's request priority class so the
+// admission layer can shed background traffic before critical-process
+// lookups (§4.2: a pending execution must never stall behind the
+// reputation server). Unknown or absent values fall back to the
+// per-path default classification.
+const HeaderPriority = "X-Reputation-Priority"
+
+// Priority header values.
+const (
+	PriorityCritical   = "critical"
+	PriorityBackground = "background"
 )
 
 // ErrorResponse is the error document returned with non-2xx statuses.
@@ -267,17 +287,32 @@ const (
 	RoleReplica = "replica"
 )
 
+// AdmissionClassInfo is one priority class's admit/shed tally as
+// exposed on /healthz.
+type AdmissionClassInfo struct {
+	Class     string `xml:"class,attr"`
+	Admitted  uint64 `xml:"admitted"`
+	Shed      uint64 `xml:"shed"`
+	Throttled uint64 `xml:"throttled"`
+}
+
 // HealthzResponse is the GET /healthz document: enough for a client to
 // decide whether this endpoint can serve its request (role, drain
 // state) and how fresh it is (sequence number and replication lag).
+// When adaptive admission is enabled, Brownout names the current
+// degradation level, AdmitLimit is the limiter's concurrency estimate,
+// and Classes breaks admissions and sheds down by priority class.
 type HealthzResponse struct {
-	XMLName  xml.Name `xml:"healthz"`
-	Role     string   `xml:"role"`
-	Primary  string   `xml:"primary,omitempty"`
-	Seq      uint64   `xml:"seq"`
-	Lag      uint64   `xml:"lag"`
-	Draining bool     `xml:"draining"`
-	Inflight int64    `xml:"inflight"`
+	XMLName    xml.Name             `xml:"healthz"`
+	Role       string               `xml:"role"`
+	Primary    string               `xml:"primary,omitempty"`
+	Seq        uint64               `xml:"seq"`
+	Lag        uint64               `xml:"lag"`
+	Draining   bool                 `xml:"draining"`
+	Inflight   int64                `xml:"inflight"`
+	Brownout   string               `xml:"brownout,omitempty"`
+	AdmitLimit int                  `xml:"admit-limit,omitempty"`
+	Classes    []AdmissionClassInfo `xml:"admission>class,omitempty"`
 }
 
 // ReplicaStatusInfo is one replica's replication progress as tracked by
