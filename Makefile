@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-smoke simulate verify
+.PHONY: build test vet staticcheck race bench bench-smoke fuzz-smoke simulate verify
 
 build:
 	$(GO) build ./...
@@ -27,16 +27,25 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-smoke runs the E19 lookup-throughput and E20 overload benchmarks
-# once each, as cheap regression tripwires for the read-path fast lane
-# and the admission layer.
+# bench-smoke runs the E19 lookup-throughput, E20 overload, and E21
+# fault-grid benchmarks once each, as cheap regression tripwires for the
+# read-path fast lane, the admission layer, and the group-commit write
+# pipeline.
 bench-smoke:
-	$(GO) test -run=NONE -bench='E19|E20' -benchtime=1x .
+	$(GO) test -run=NONE -bench='E19|E20|E21' -benchtime=1x .
+
+# fuzz-smoke gives the WAL-tail fuzzer a short budget: fifteen seconds
+# of mutated tails (CRC flips, truncations, spliced frames) against the
+# recovery prefix property, on top of the deterministic corpus the test
+# suite always replays.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzWALTail -fuzztime=15s ./internal/storedb
 
 simulate:
 	$(GO) run ./cmd/simulate -exp all -quick
 
 # verify is the gate for every change: tier-1 (build + test) plus vet,
-# staticcheck, the race detector, and the benchmark smoke.
-verify: build vet staticcheck race test bench-smoke
+# staticcheck, the race detector, the benchmark smoke, and the WAL fuzz
+# smoke.
+verify: build vet staticcheck race test bench-smoke fuzz-smoke
 	@echo "verify: OK"

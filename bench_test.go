@@ -418,6 +418,30 @@ func BenchmarkE20Overload(b *testing.B) {
 	}
 }
 
+// BenchmarkE21WriteGroupCommit measures storage fault tolerance and the
+// group-commit pipeline: the full E21 fault grid (zero acked-write loss
+// under injected EIO/ENOSPC/torn-write/kill faults) plus acked commit
+// throughput against a modeled device fsync, grouped vs serialized.
+// Headline metrics: acked writes/s for each arm, fsyncs per write under
+// grouping (must sit well below 1), and the speedup.
+func BenchmarkE21WriteGroupCommit(b *testing.B) {
+	var res simulation.FaultGridResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunFaultGrid(simulation.DefaultFaultGridConfig(21))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.TotalLostAcked()), "lost-acked-writes")
+	b.ReportMetric(float64(res.TotalResurrected()), "resurrected-writes")
+	for _, p := range res.Perf {
+		b.ReportMetric(p.WritesPerS, p.Arm+"-writes/s")
+		b.ReportMetric(p.FsyncsPerW, p.Arm+"-fsyncs/write")
+	}
+	b.ReportMetric(res.Speedup, "group-commit-speedup-x")
+}
+
 // BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
 // throughput into the embedded store through the full repository path.
 func BenchmarkE14StoredbIngest(b *testing.B) {

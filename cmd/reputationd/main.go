@@ -131,6 +131,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Storage fail-safe: a WAL append/fsync failure flips the store into
+	// its sticky read-only state (writes shed 503, reads keep serving);
+	// the supervisor is the way back, retrying reopen-with-verify under
+	// backoff until the device recovers or the operator intervenes.
+	go storedb.SuperviseReopen(ctx, store.DB(), time.Second, log.Printf)
+
 	if *pprofAddr != "" {
 		// The profiling endpoints live on their own listener so they are
 		// never exposed on the public API address.

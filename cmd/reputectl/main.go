@@ -45,7 +45,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | health <url> | loadstatus <url>")
+		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | health <url> | loadstatus <url> | storagestatus <url>")
 	}
 
 	// health and loadstatus talk to a running server over HTTP, so they
@@ -62,6 +62,13 @@ func main() {
 			log.Fatal("reputectl: loadstatus needs a server base URL")
 		}
 		cmdLoadStatus(args[1])
+		return
+	}
+	if args[0] == "storagestatus" {
+		if len(args) < 2 {
+			log.Fatal("reputectl: storagestatus needs a server base URL")
+		}
+		cmdStorageStatus(args[1])
 		return
 	}
 
@@ -340,6 +347,42 @@ func cmdLoadStatus(base string) {
 	for _, c := range h.Classes {
 		fmt.Printf("  %-12s admitted %-10d shed %-10d throttled %d\n",
 			c.Class, c.Admitted, c.Shed, c.Throttled)
+	}
+}
+
+// cmdStorageStatus queries a running server's /healthz and prints the
+// storage picture: the fail-safe state (ok, or sticky failed with its
+// cause), how many supervised reopens the store has survived, and the
+// group-commit telemetry — mean commits per WAL write and fsyncs per
+// commit, the amortization the write pipeline exists for.
+func cmdStorageStatus(base string) {
+	base = strings.TrimRight(base, "/")
+	cl := &http.Client{Timeout: 5 * time.Second}
+
+	var h wire.HealthzResponse
+	if err := fetchXML(cl, base+wire.PathHealthz, &h); err != nil {
+		log.Fatalf("reputectl: healthz: %v", err)
+	}
+	st := h.Storage
+	if st == nil {
+		fmt.Println("storage:   not reported (older server)")
+		return
+	}
+	fmt.Printf("storage:   %s\n", st.State)
+	if st.State == wire.StorageFailed {
+		fmt.Printf("failure:   %s\n", st.LastFailure)
+		fmt.Println("writes:    shedding 503 unavailable; reads served from last durable state")
+	}
+	fmt.Printf("reopens:   %d\n", st.Reopens)
+	fmt.Printf("wal:       %d commits in %d group writes, %d fsyncs\n",
+		st.WALBatches, st.WALGroups, st.WALFsyncs)
+	if st.WALGroups > 0 {
+		fmt.Printf("depth:     %.1f commits per WAL write\n",
+			float64(st.WALBatches)/float64(st.WALGroups))
+	}
+	if st.WALBatches > 0 {
+		fmt.Printf("fsyncs:    %.3f per commit\n",
+			float64(st.WALFsyncs)/float64(st.WALBatches))
 	}
 }
 

@@ -182,6 +182,13 @@ func experiments() []experiment {
 			}
 			return simulation.RunOverload(cfg)
 		}},
+		{"e21", "E21: storage fault grid — durability under injected I/O failure, group-commit throughput", func(seed int64, quick bool) (fmt.Stringer, error) {
+			cfg := simulation.DefaultFaultGridConfig(seed)
+			if quick {
+				cfg = simulation.QuickFaultGridConfig(seed)
+			}
+			return simulation.RunFaultGrid(cfg)
+		}},
 	}
 }
 
@@ -219,6 +226,9 @@ func main() {
 	}
 	if want["overload"] {
 		want["e20"] = true
+	}
+	if want["faultgrid"] {
+		want["e21"] = true
 	}
 
 	matched := 0

@@ -225,9 +225,16 @@ func (f *Failover) probeForPrimary(ctx context.Context) string {
 		if err != nil {
 			continue
 		}
-		if h.Role == wire.RolePrimary && !h.Draining {
-			return base
+		if h.Role != wire.RolePrimary || h.Draining {
+			continue
 		}
+		// A primary whose storage is in the sticky failed state sheds
+		// every write with 503 until it is reopened — keep probing for a
+		// healthy one instead of re-aiming the write path at it.
+		if h.Storage != nil && h.Storage.State == wire.StorageFailed {
+			continue
+		}
+		return base
 	}
 	return ""
 }

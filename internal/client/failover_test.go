@@ -212,6 +212,35 @@ func TestFailoverWriteProbesForLatePromotion(t *testing.T) {
 	}
 }
 
+// TestProbeSkipsStorageFailedPrimary builds the health documents by
+// hand: two servers both claim the primary role, but the first one's
+// storage is in the sticky failed state and would shed every write
+// until reopened — the probe must keep sweeping to the healthy one.
+func TestProbeSkipsStorageFailedPrimary(t *testing.T) {
+	healthz := func(storage string) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != wire.PathHealthz {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", wire.ContentType)
+			_ = wire.Encode(w, &wire.HealthzResponse{
+				Role:    wire.RolePrimary,
+				Storage: &wire.StorageInfo{State: storage},
+			})
+		})
+	}
+	failed := httptest.NewServer(healthz(wire.StorageFailed))
+	defer failed.Close()
+	healthy := httptest.NewServer(healthz(wire.StorageOK))
+	defer healthy.Close()
+
+	api := NewFailoverAPI([]string{failed.URL, healthy.URL}, nil)
+	if got := api.Failover().Probe(context.Background()); got != healthy.URL {
+		t.Fatalf("probe = %s, want healthy primary %s", got, healthy.URL)
+	}
+}
+
 func TestProbeDiscoversPrimary(t *testing.T) {
 	tier := newReplTier(t)
 	// Start believing a replica is primary.

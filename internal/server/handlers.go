@@ -13,6 +13,7 @@ import (
 	"softreputation/internal/core"
 	"softreputation/internal/identity"
 	"softreputation/internal/repo"
+	"softreputation/internal/storedb"
 	"softreputation/internal/wire"
 )
 
@@ -78,6 +79,11 @@ func writeError(w http.ResponseWriter, err error) {
 		code, status = wire.CodeRateLimited, http.StatusTooManyRequests
 	case errors.Is(err, core.ErrScoreRange), errors.Is(err, identity.ErrBadEmail):
 		code, status = wire.CodeBadRequest, http.StatusBadRequest
+	case errors.Is(err, storedb.ErrStorageFailed):
+		// Storage is in its sticky failed state: this server cannot make
+		// writes durable until an operator (or the supervisor loop)
+		// reopens it. 503 tells the client to fail over, not retry here.
+		code, status = wire.CodeUnavailable, http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", wire.ContentType)
 	w.WriteHeader(status)
@@ -256,7 +262,7 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	// score and vendor rating only — built without the comment and feed
 	// work, and never cached so a recovered server goes back to full
 	// reports immediately.
-	lean := s.admit != nil && s.admit.Level() >= admission.LevelCacheOnly
+	lean := (s.admit != nil && s.admit.Level() >= admission.LevelCacheOnly) || s.storageFailed()
 	fill := func() ([]byte, bool, error) {
 		resp, err := s.buildLookupResponse(meta, req.Feeds, fast, lean)
 		if err != nil {

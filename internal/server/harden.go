@@ -176,6 +176,21 @@ func (s *Server) shedMiddleware(next http.Handler) http.Handler {
 			writeUnavailable(w, retryAfter, "server is draining for shutdown")
 			return
 		}
+		if s.storageFailed() && !bypassAdmission(r.URL.Path) {
+			// Storage is in its sticky failed state: the store serves
+			// reads from the last durable tree but cannot make anything
+			// new durable. Shed writes with 503 (clients fail over to a
+			// healthy primary) and step the brownout ladder to cache-only
+			// so the read path stops doing write-adjacent work.
+			if s.admit != nil && s.admit.Level() < admission.LevelCacheOnly {
+				s.admit.SetLevel(admission.LevelCacheOnly)
+			}
+			if classifyRequest(r) == admission.Write {
+				atomic.AddInt64(&s.shed, 1)
+				writeUnavailable(w, retryAfter, "storage degraded: writes unavailable until reopen")
+				return
+			}
+		}
 		n := atomic.AddInt64(&s.inflight, 1)
 		defer atomic.AddInt64(&s.inflight, -1)
 		if s.admit != nil {

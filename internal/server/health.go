@@ -99,6 +99,31 @@ func (s *Server) replLag() uint64 {
 	return 0
 }
 
+// storageFailed reports whether the store is in its sticky failed
+// (read-only) state. One atomic load: it sits on every request's path
+// through the shed gate.
+func (s *Server) storageFailed() bool {
+	return s.store.DB().Failed()
+}
+
+// storageInfo builds the /healthz storage section from the store's
+// health counters.
+func (s *Server) storageInfo() *wire.StorageInfo {
+	h := s.store.DB().Health()
+	info := &wire.StorageInfo{
+		State:      wire.StorageOK,
+		Reopens:    h.Reopens,
+		WALGroups:  h.Groups,
+		WALBatches: h.Batches,
+		WALFsyncs:  h.Fsyncs,
+	}
+	if h.Failed {
+		info.State = wire.StorageFailed
+		info.LastFailure = h.Cause
+	}
+	return info
+}
+
 // handleHealthz answers GET /healthz: role, primary, sequence number,
 // replication lag, drain state, and in-flight count. Clients probe it
 // to pick an endpoint; operators read it via reputectl health.
@@ -114,6 +139,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Lag:      s.replLag(),
 		Draining: s.Draining(),
 		Inflight: atomic.LoadInt64(&s.inflight),
+		Storage:  s.storageInfo(),
 	}
 	if s.admit != nil {
 		resp.Brownout = s.admit.Level().String()
@@ -143,6 +169,7 @@ func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 		Role:    s.Role(),
 		Seq:     s.store.Seq(),
 		SnapSeq: s.store.DB().SnapSeq(),
+		Storage: s.storageInfo().State,
 	}
 	if tr := s.cfg.ReplicaTracker; tr != nil {
 		resp.Replicas = tr.Status()

@@ -325,10 +325,12 @@ func (s *Server) lookupReport(meta core.SoftwareMeta, feeds []string, lean bool)
 	} else {
 		created, err = s.store.UpsertSoftware(meta, s.clock.Now())
 	}
-	if errors.Is(err, storedb.ErrReplica) {
+	if errors.Is(err, storedb.ErrReplica) || errors.Is(err, storedb.ErrStorageFailed) {
 		// Replicas serve lookups from replicated state but cannot record
 		// first sightings; the primary registers the executable when it
-		// next sees it.
+		// next sees it. A degraded (storage-failed) primary is in the
+		// same position: reads keep working off the last durable tree,
+		// and the first sighting is recorded after recovery.
 		_, known, gerr := s.store.GetSoftware(meta.ID)
 		if gerr != nil {
 			return rep, gerr

@@ -1,0 +1,52 @@
+package simulation
+
+import "testing"
+
+// TestFaultGridQuick runs the reduced E21 grid and asserts the
+// acceptance criteria the experiment exists to defend: zero acked-write
+// loss, zero resurrection, recovery in every cell, and fsync
+// amortization under group commit.
+func TestFaultGridQuick(t *testing.T) {
+	res, err := RunFaultGrid(QuickFaultGridConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+
+	if got := res.TotalLostAcked(); got != 0 {
+		t.Errorf("acked-write loss = %d, want 0", got)
+	}
+	if got := res.TotalResurrected(); got != 0 {
+		t.Errorf("resurrected writes = %d, want 0", got)
+	}
+	for _, c := range res.Cells {
+		if !c.Recovered {
+			t.Errorf("cell %s/after=%d did not recover", c.Kind, c.FireAfter)
+		}
+		if c.Unexpected != 0 {
+			t.Errorf("cell %s/after=%d: %d unexpected writer errors", c.Kind, c.FireAfter, c.Unexpected)
+		}
+		if c.Fired == 0 {
+			t.Errorf("cell %s/after=%d: fault never fired", c.Kind, c.FireAfter)
+		}
+	}
+
+	grouped, serialized := res.PerfArm("grouped"), res.PerfArm("serialized")
+	if grouped == nil || serialized == nil {
+		t.Fatalf("missing perf arms: %+v", res.Perf)
+	}
+	if grouped.FsyncsPerW >= 1 {
+		t.Errorf("grouped fsyncs/write = %.3f, want < 1", grouped.FsyncsPerW)
+	}
+	if serialized.FsyncsPerW != 1 {
+		t.Errorf("serialized fsyncs/write = %.3f, want exactly 1", serialized.FsyncsPerW)
+	}
+	if grouped.GroupDepth <= 1 {
+		t.Errorf("grouped depth = %.1f, want > 1", grouped.GroupDepth)
+	}
+	// The modeled fsync dominates, so grouping must win; the margin is
+	// left loose for CI machines under -race.
+	if res.Speedup < 1.5 {
+		t.Errorf("group-commit speedup = %.2fx, want >= 1.5x", res.Speedup)
+	}
+}

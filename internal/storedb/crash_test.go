@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 )
 
@@ -29,7 +28,7 @@ import (
 var errKilled = errors.New("simulated power loss")
 
 type nsEvent struct {
-	kind       string // "rename" or "remove"
+	kind       string // "rename", "remove", or "create"
 	oldPath    string
 	newPath    string
 	saved      []byte // prior content of the destination (rename) — nil if absent
@@ -55,6 +54,17 @@ func newCrashSim(t *testing.T, dir string, killAt int) *crashSim {
 // must arrange restore (defer sim.uninstall()).
 func (s *crashSim) install() {
 	testFS = fsHooks{
+		write: func(f *os.File, p []byte, label string) (int, error) {
+			if s.killed {
+				return 0, errKilled
+			}
+			return f.Write(p)
+		},
+		created: func(path string) {
+			// The new file's directory entry is not durable until the
+			// next dir sync; a power loss before then loses the file.
+			s.pending = append(s.pending, nsEvent{kind: "create", oldPath: path})
+		},
 		sync: func(f *os.File, label string) error {
 			if s.tick() {
 				return errKilled
@@ -122,12 +132,19 @@ func (s *crashSim) tick() bool {
 }
 
 // powerLoss rewrites the directory to its worst-case post-crash state:
-// pending renames roll back (their dir entry never reached disk) while
-// pending removes stick, then every surviving file is truncated to its
-// last fsynced size.
+// pending renames roll back and pending creates vanish (their dir
+// entry never reached disk) while pending removes stick, then every
+// surviving file is truncated to its last fsynced size.
 func (s *crashSim) powerLoss() {
 	for i := len(s.pending) - 1; i >= 0; i-- {
 		ev := s.pending[i]
+		if ev.kind == "create" {
+			if err := os.Remove(ev.oldPath); err != nil && !os.IsNotExist(err) {
+				s.t.Fatalf("rollback create: %v", err)
+			}
+			delete(s.durable, ev.oldPath)
+			continue
+		}
 		if ev.kind != "rename" {
 			continue // removes are adversarially durable
 		}
@@ -172,31 +189,32 @@ func TestCrashAtEverySyncPoint(t *testing.T) {
 		sim := newCrashSim(t, dir, killAt)
 		sim.install()
 
+		acked := map[string]bool{}
 		db, err := Open(Options{Dir: dir, SyncWrites: true, CompactEvery: 3, ReplLogBuffer: -1})
-		if err != nil {
+		switch {
+		case err != nil && !sim.killed:
 			sim.uninstall()
 			t.Fatalf("killAt=%d: open: %v", killAt, err)
-		}
-
-		acked := map[string]bool{}
-		for i := 0; i < commits; i++ {
-			key := fmt.Sprintf("k%02d", i)
-			err := db.Update(func(tx *Tx) error {
-				return tx.MustBucket("b").Put([]byte(key), []byte("v"))
-			})
-			switch {
-			case err == nil:
-				acked[key] = true
-			case strings.Contains(err.Error(), "auto-compaction"):
-				// The commit itself was durably logged before compaction
-				// started; only the snapshot/truncation died.
+		case err != nil:
+			// The kill landed inside Open itself (e.g. the WAL-create
+			// directory sync): nothing was acked, recovery is checked
+			// below.
+		default:
+			for i := 0; i < commits; i++ {
+				key := fmt.Sprintf("k%02d", i)
+				err := db.Update(func(tx *Tx) error {
+					return tx.MustBucket("b").Put([]byte(key), []byte("v"))
+				})
+				if err != nil {
+					// A failed commit — or the sticky failed state a
+					// dead compaction left behind — means the process
+					// is dead.
+					break
+				}
 				acked[key] = true
 			}
-			if err != nil {
-				break // the process is dead
-			}
+			db.Close()
 		}
-		db.Close()
 
 		survived := !sim.killed
 		sim.powerLoss()
@@ -313,6 +331,60 @@ func TestSnapshotRenameDurableBeforeWALRemoval(t *testing.T) {
 	}
 	if !syncAfter {
 		t.Fatalf("no directory fsync after WAL removal: %v", ops)
+	}
+}
+
+// TestWALCreateDurableBeforeFirstCommit is the regression test for the
+// WAL-creation durability bug: a freshly created log file's directory
+// entry must be fsynced before the first commit is acknowledged,
+// otherwise a crash right after the first commit can lose the whole
+// file — and with it an acked write. (The kill-at-every-sync suite
+// exercises the crash itself; this pins the ordering.)
+func TestWALCreateDurableBeforeFirstCommit(t *testing.T) {
+	dir := t.TempDir()
+	var ops []string
+	testFS = fsHooks{
+		created: func(path string) {
+			ops = append(ops, "create:"+filepath.Base(path))
+		},
+		syncDir: func(path string) error {
+			ops = append(ops, "syncdir")
+			return realSyncDir(path)
+		},
+		sync: func(f *os.File, label string) error {
+			ops = append(ops, "sync:"+label)
+			return f.Sync()
+		},
+	}
+	defer func() { testFS = fsHooks{} }()
+
+	db, err := Open(Options{Dir: dir, SyncWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Update(func(tx *Tx) error {
+		return tx.MustBucket("b").Put([]byte("k"), []byte("v"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	create, dirSync, firstCommit := -1, -1, -1
+	for i, op := range ops {
+		switch {
+		case op == "create:WAL" && create < 0:
+			create = i
+		case op == "syncdir" && create >= 0 && dirSync < 0:
+			dirSync = i
+		case op == "sync:wal" && firstCommit < 0:
+			firstCommit = i
+		}
+	}
+	if create < 0 {
+		t.Fatalf("WAL never created: %v", ops)
+	}
+	if dirSync < 0 || dirSync > firstCommit {
+		t.Fatalf("no directory fsync between WAL creation and first commit: %v", ops)
 	}
 }
 

@@ -10,10 +10,19 @@
 //   - periodic snapshot files that allow the log to be truncated and
 //     bound recovery time.
 //
-// Write transactions (Update) serialise on a mutex, stage their changes
-// against a private copy-on-write root, append one WAL batch on commit
-// and then atomically publish the new root. Read transactions (View) pin
-// whatever root was current when they began and never block.
+// Write transactions (Update) stage their changes against a shared
+// copy-on-write staging root under a short mutex, then commit through a
+// group-commit pipeline: concurrent committers join an open commit
+// group, one of them becomes the leader, and a single WAL write plus a
+// single fsync makes the whole group durable before every member is
+// released. Read transactions (View) pin whatever root was last made
+// durable and never block.
+//
+// Storage failures are fail-safe: any WAL append, fsync, or compaction
+// error moves the database into a sticky failed state in which every
+// write returns ErrStorageFailed while reads keep serving the last
+// committed tree. Reopen replays and verifies the durable state and is
+// the only way back to writable.
 //
 // Keys live in named buckets; a bucket is a key prefix managed by the
 // store so that independently-developed tables cannot collide.
@@ -50,6 +59,12 @@ type Options struct {
 	// kept for replication tailing (Since). Zero selects a default;
 	// negative disables the ring, forcing Since onto the on-disk WAL.
 	ReplLogBuffer int
+
+	// NoGroupCommit disables cross-transaction fsync batching: every
+	// commit appends and syncs its own WAL frame alone, as the write
+	// path did before group commit. Kept as the measured baseline for
+	// experiment E21 and as an operational escape hatch.
+	NoGroupCommit bool
 }
 
 const (
@@ -58,22 +73,41 @@ const (
 )
 
 // DB is an embedded key-value database. It is safe for concurrent use.
+//
+// Lock order: commitMu before writeMu, never the reverse. Staging
+// (running a transaction's fn, joining a commit group) takes writeMu
+// alone; flushing a group to the WAL, publishing, compaction, and
+// recovery take commitMu and may briefly nest writeMu inside it.
 type DB struct {
 	opts Options
 
-	current atomic.Pointer[tree] // committed root, swapped on commit
+	current atomic.Pointer[tree] // durable root, swapped on group flush
 
-	writeMu sync.Mutex // serialises Update transactions and compaction
-	wal     *walWriter
-	pending int // batches since last compaction
+	writeMu   sync.Mutex // guards staging: staged, stageSeq, openGroup
+	staged    tree       // root including staged-but-not-yet-durable batches
+	stageSeq  uint64     // sequence of the newest staged batch
+	openGroup *commitGroup
 
-	seq     atomic.Uint64 // last committed batch sequence
+	commitMu sync.Mutex // guards wal, pending, publication, compaction
+	wal      *walWriter
+	pending  int // batches since last compaction
+
+	seq     atomic.Uint64 // last durable batch sequence
 	snapSeq atomic.Uint64 // sequence covered by the newest snapshot
 
 	replicaMode atomic.Bool // writes refused; changes arrive via ApplyBatch
 
+	failed  atomic.Bool // sticky storage failure; writes refused until Reopen
+	failMu  sync.Mutex  // guards failure
+	failure error       // first cause of the failed state
+
 	updates  atomic.Uint64 // committed local Update transactions
 	attempts atomic.Uint64 // Update transactions begun (write-lock acquisitions)
+
+	walGroups  atomic.Uint64 // commit groups flushed
+	walBatches atomic.Uint64 // batches flushed across all groups
+	walFsyncs  atomic.Uint64 // WAL fsyncs issued
+	reopens    atomic.Uint64 // successful Reopen recoveries
 
 	replMu  sync.Mutex // guards recent and commitC
 	recent  *batchRing // tail of committed batches for replication
@@ -83,6 +117,20 @@ type DB struct {
 	applyHook func(Batch)
 
 	closed atomic.Bool
+}
+
+// commitGroup collects the batches of concurrent Update callers so one
+// WAL write and one fsync can cover them all. The caller that creates
+// the group is its leader: it flushes the group under commitMu while
+// later committers keep staging the next group. Waiters block on done
+// and read err after it closes.
+type commitGroup struct {
+	batches  []walBatch
+	lastTree tree   // staging root after the newest member
+	lastSeq  uint64 // sequence of the newest member
+	flushed  bool   // guarded by commitMu
+	err      error  // set before done closes
+	done     chan struct{}
 }
 
 // Open opens or creates a database per the options. On disk, recovery
@@ -143,19 +191,22 @@ func Open(opts Options) (*DB, error) {
 	}
 
 	db.current.Store(&t)
+	db.staged = t
+	db.stageSeq = db.seq.Load()
 	return db, nil
 }
 
 func (db *DB) walPath() string { return filepath.Join(db.opts.Dir, "WAL") }
 
-// Close flushes nothing (commits are already logged) and releases the
-// WAL file. Further use of the database returns ErrClosed.
+// Close flushes any open commit group and releases the WAL file.
+// Further use of the database returns ErrClosed.
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
 	}
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.drainOpenGroupLocked()
 	if db.wal != nil {
 		return db.wal.close()
 	}
@@ -189,8 +240,12 @@ func (db *DB) View(fn func(tx *Tx) error) error {
 }
 
 // Update runs fn in a read-write transaction. If fn returns nil the
-// transaction commits: its batch is appended to the WAL and the new root
-// is published atomically. If fn returns an error, nothing is changed.
+// transaction commits: its batch joins the open commit group, the group
+// leader appends every member in one WAL write covered by one fsync,
+// and the call returns once the batch is durable and published. If fn
+// returns an error, nothing is changed. In-memory stores commit through
+// the serialized path instead — with no log write or fsync to amortize,
+// grouping is pure coordination overhead.
 func (db *DB) Update(fn func(tx *Tx) error) error {
 	if db.closed.Load() {
 		return ErrClosed
@@ -198,45 +253,370 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 	if db.replicaMode.Load() {
 		return ErrReplica
 	}
+	if db.failed.Load() {
+		return db.failedErr()
+	}
+	if db.opts.NoGroupCommit || db.opts.Dir == "" {
+		return db.updateSerialized(fn)
+	}
+
+	db.writeMu.Lock()
+	if db.closed.Load() {
+		db.writeMu.Unlock()
+		return ErrClosed
+	}
+	if db.replicaMode.Load() {
+		db.writeMu.Unlock()
+		return ErrReplica
+	}
+	if db.failed.Load() {
+		db.writeMu.Unlock()
+		return db.failedErr()
+	}
+	db.attempts.Add(1)
+
+	// fn runs against the staging root, not the durable one, so a
+	// transaction observes every earlier staged commit it may end up
+	// sharing a group with.
+	tx := &Tx{db: db, tree: db.staged, writable: true, seq: db.stageSeq + 1}
+	if err := fn(tx); err != nil {
+		tx.done = true
+		db.writeMu.Unlock()
+		return err
+	}
+	tx.done = true
+	if len(tx.ops) == 0 {
+		db.writeMu.Unlock()
+		return nil // read-only use of an Update tx; nothing to commit
+	}
+
+	db.staged = tx.tree
+	db.stageSeq = tx.seq
+	g := db.openGroup
+	leader := g == nil
+	if leader {
+		g = &commitGroup{done: make(chan struct{})}
+		db.openGroup = g
+	}
+	g.batches = append(g.batches, walBatch{seq: tx.seq, ops: tx.ops})
+	g.lastTree = tx.tree
+	g.lastSeq = tx.seq
+	db.writeMu.Unlock()
+
+	if leader {
+		// Pipelining: while the previous leader's fsync is in flight
+		// this blocks on commitMu, and every committer arriving
+		// meanwhile piles into this group.
+		db.commitMu.Lock()
+		db.flushGroupLocked(g)
+		db.commitMu.Unlock()
+	}
+	<-g.done
+	return g.err
+}
+
+// updateSerialized is the one-batch-per-flush write path: the
+// transaction stages and flushes alone, holding commitMu from staging
+// through publication, exactly as the write path worked before group
+// commit. In-memory stores use it because there is no log write or
+// fsync to amortize; NoGroupCommit selects it on disk as the measured
+// baseline for E21. Holding commitMu across the whole commit also pins
+// WAL append order to sequence order — the grouped path gets that from
+// leader handoff, but independent groups racing for commitMu would not,
+// and an out-of-order append reads as a torn tail on replay.
+func (db *DB) updateSerialized(fn func(tx *Tx) error) error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.writeMu.Lock()
+	if db.closed.Load() {
+		db.writeMu.Unlock()
+		return ErrClosed
+	}
+	if db.replicaMode.Load() {
+		db.writeMu.Unlock()
+		return ErrReplica
+	}
+	if db.failed.Load() {
+		db.writeMu.Unlock()
+		return db.failedErr()
+	}
+	db.attempts.Add(1)
+
+	tx := &Tx{db: db, tree: db.staged, writable: true, seq: db.stageSeq + 1}
+	if err := fn(tx); err != nil {
+		tx.done = true
+		db.writeMu.Unlock()
+		return err
+	}
+	tx.done = true
+	if len(tx.ops) == 0 {
+		db.writeMu.Unlock()
+		return nil // read-only use of an Update tx; nothing to commit
+	}
+
+	db.staged = tx.tree
+	db.stageSeq = tx.seq
+	g := &commitGroup{
+		batches:  []walBatch{{seq: tx.seq, ops: tx.ops}},
+		lastTree: tx.tree,
+		lastSeq:  tx.seq,
+		done:     make(chan struct{}),
+	}
+	db.writeMu.Unlock()
+	db.flushGroupLocked(g)
+	return g.err
+}
+
+// flushGroupLocked detaches g from staging, makes its batches durable
+// with a single WAL write and fsync, publishes the newest root, and
+// releases the waiters. Any storage error fails the whole group and
+// moves the database to the sticky failed state. Caller holds commitMu
+// but not writeMu.
+func (db *DB) flushGroupLocked(g *commitGroup) {
+	if g.flushed {
+		return // another path (drain) beat this leader to it
+	}
+	g.flushed = true
+	db.writeMu.Lock()
+	if db.openGroup == g {
+		db.openGroup = nil
+	}
+	db.writeMu.Unlock()
+	defer close(g.done)
+
+	if db.failed.Load() {
+		g.err = db.failedErr()
+		return
+	}
+	if db.wal != nil {
+		if err := db.wal.appendGroup(g.batches); err != nil {
+			db.fail(err)
+			g.err = db.failedErr()
+			return
+		}
+		if db.opts.SyncWrites {
+			db.walFsyncs.Add(1)
+		}
+	}
+	db.walGroups.Add(1)
+	db.walBatches.Add(uint64(len(g.batches)))
+
+	t := g.lastTree
+	db.current.Store(&t)
+	db.seq.Store(g.lastSeq)
+	db.updates.Add(uint64(len(g.batches)))
+	for _, b := range g.batches {
+		db.noteCommit(b)
+	}
+
+	db.pending += len(g.batches)
+	if db.wal != nil && db.opts.CompactEvery > 0 && db.pending >= db.opts.CompactEvery {
+		if err := db.compactLocked(); err != nil {
+			// The group is already durable and published, so its
+			// members are acknowledged with nil; only the snapshot or
+			// log truncation died. The log may be half-reset, so take
+			// the sticky failed state rather than guessing.
+			db.fail(fmt.Errorf("auto-compaction: %w", err))
+		}
+	}
+}
+
+// drainOpenGroupLocked flushes (or fails) the staged-but-unflushed
+// commit group, if any, so the caller sees a quiesced commit pipeline.
+// Caller holds commitMu but not writeMu.
+func (db *DB) drainOpenGroupLocked() {
+	db.writeMu.Lock()
+	g := db.openGroup
+	db.writeMu.Unlock()
+	if g != nil {
+		db.flushGroupLocked(g)
+	}
+}
+
+// fail records the first cause and moves the database into the sticky
+// failed state: every subsequent write returns ErrStorageFailed until
+// Reopen succeeds. Reads are unaffected.
+func (db *DB) fail(cause error) {
+	db.failMu.Lock()
+	if db.failure == nil {
+		db.failure = cause
+	}
+	db.failMu.Unlock()
+	db.failed.Store(true)
+}
+
+// failedErr returns ErrStorageFailed annotated with the first cause.
+func (db *DB) failedErr() error {
+	db.failMu.Lock()
+	cause := db.failure
+	db.failMu.Unlock()
+	if cause == nil {
+		return ErrStorageFailed
+	}
+	return fmt.Errorf("%w: %v", ErrStorageFailed, cause)
+}
+
+// StorageHealth describes the write pipeline's state for health
+// endpoints and operators.
+type StorageHealth struct {
+	// Failed reports the sticky failed (read-only) state.
+	Failed bool
+	// Cause is the first error that failed the store; empty when healthy.
+	Cause string
+	// Reopens counts successful Reopen recoveries.
+	Reopens uint64
+	// Groups counts commit groups flushed; Batches the batches they
+	// carried. Batches/Groups is the mean group-commit depth.
+	Groups uint64
+	// Batches counts batches made durable.
+	Batches uint64
+	// Fsyncs counts WAL fsyncs issued; Fsyncs/Batches is the amortized
+	// fsync cost per write.
+	Fsyncs uint64
+}
+
+// Failed reports whether the database is in the sticky failed
+// (read-only) state — a single atomic load, cheap enough for a
+// per-request gate.
+func (db *DB) Failed() bool { return db.failed.Load() }
+
+// Health returns a snapshot of the storage health counters.
+func (db *DB) Health() StorageHealth {
+	h := StorageHealth{
+		Failed:  db.failed.Load(),
+		Reopens: db.reopens.Load(),
+		Groups:  db.walGroups.Load(),
+		Batches: db.walBatches.Load(),
+		Fsyncs:  db.walFsyncs.Load(),
+	}
+	if h.Failed {
+		db.failMu.Lock()
+		if db.failure != nil {
+			h.Cause = db.failure.Error()
+		}
+		db.failMu.Unlock()
+	}
+	return h
+}
+
+// Reopen recovers a database from the sticky failed state: it closes
+// the suspect WAL handle, reloads the snapshot, replays the log up to
+// the last acknowledged sequence, cuts any unacknowledged tail, and
+// reopens the log for appends. It verifies that every acknowledged
+// batch is still durable — if the log cannot prove that, the database
+// stays failed and the error says why. Reopen on a healthy database is
+// a no-op.
+func (db *DB) Reopen() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.drainOpenGroupLocked()
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	if db.replicaMode.Load() {
-		return ErrReplica
+	if !db.failed.Load() {
+		return nil
 	}
-	db.attempts.Add(1)
 
-	tx := &Tx{db: db, tree: *db.current.Load(), writable: true}
-	if err := fn(tx); err != nil {
-		tx.done = true
+	if db.wal != nil {
+		_ = db.wal.close()
+		db.wal = nil
+	}
+	durable := db.seq.Load()
+
+	if db.opts.Dir == "" {
+		// In-memory store: there is no log to repair. Resume from the
+		// last published root.
+		db.recoverLocked(*db.current.Load(), durable, db.snapSeq.Load(), 0)
+		return nil
+	}
+
+	snap, snapSeq, err := loadSnapshot(db.opts.Dir)
+	if err != nil {
+		return fmt.Errorf("storedb: reopen: %w", err)
+	}
+	t := snap
+	last := snapSeq
+	var keep int64
+	replayed := 0
+	_, _, err = scanWalFrames(db.walPath(), func(b walBatch, end int64) error {
+		if b.seq > durable {
+			return errScanDone // unacknowledged tail: cut below
+		}
+		if b.seq > snapSeq {
+			for _, op := range b.ops {
+				switch op.op {
+				case opPut:
+					t = t.Put(op.key, op.val)
+				case opDelete:
+					t, _ = t.Delete(op.key)
+				}
+			}
+			replayed++
+		}
+		if b.seq > last {
+			last = b.seq
+		}
+		keep = end
+		return nil
+	})
+	if err != nil && err != errScanDone {
+		return fmt.Errorf("storedb: reopen: %w", err)
+	}
+	if last != durable {
+		return fmt.Errorf("%w: reopen recovered seq %d, acknowledged %d", ErrCorrupt, last, durable)
+	}
+
+	// Cut everything past the last acknowledged frame and make the cut
+	// durable, so a batch that failed mid-append can never resurrect.
+	if info, serr := os.Stat(db.walPath()); serr == nil && info.Size() > keep {
+		if terr := os.Truncate(db.walPath(), keep); terr != nil {
+			return fmt.Errorf("storedb: reopen truncate: %w", terr)
+		}
+		f, oerr := os.OpenFile(db.walPath(), os.O_WRONLY, 0)
+		if oerr != nil {
+			return fmt.Errorf("storedb: reopen: %w", oerr)
+		}
+		serr := fsSync(f, "wal")
+		f.Close()
+		if serr != nil {
+			return fmt.Errorf("storedb: reopen sync: %w", serr)
+		}
+	}
+	w, err := openWalWriter(db.walPath(), db.opts.SyncWrites)
+	if err != nil {
 		return err
 	}
-	tx.done = true
-	if len(tx.ops) == 0 {
-		return nil // read-only use of an Update tx; nothing to commit
+	// The log may have been created by the failed path without its
+	// directory entry ever reaching disk; sync unconditionally so the
+	// recovered log is durable whatever state the failure left behind.
+	if err := fsSyncDir(db.opts.Dir); err != nil {
+		_ = w.close()
+		return fmt.Errorf("storedb: reopen sync dir: %w", err)
 	}
-
-	batch := walBatch{seq: db.seq.Load() + 1, ops: tx.ops}
-	if db.wal != nil {
-		if err := db.wal.append(&batch); err != nil {
-			return err
-		}
-	}
-	newTree := tx.tree
-	db.current.Store(&newTree)
-	db.seq.Store(batch.seq)
-	db.updates.Add(1)
-	db.noteCommit(batch)
-
-	db.pending++
-	if db.wal != nil && db.opts.CompactEvery > 0 && db.pending >= db.opts.CompactEvery {
-		if err := db.compactLocked(); err != nil {
-			return fmt.Errorf("storedb: auto-compaction: %w", err)
-		}
-	}
+	db.wal = w
+	db.recoverLocked(t, durable, snapSeq, replayed)
 	return nil
+}
+
+// recoverLocked installs the verified durable state and clears the
+// failed flag. Caller holds commitMu and writeMu.
+func (db *DB) recoverLocked(t tree, seq, snapSeq uint64, pending int) {
+	db.current.Store(&t)
+	db.staged = t
+	db.stageSeq = seq
+	db.seq.Store(seq)
+	db.snapSeq.Store(snapSeq)
+	db.pending = pending
+	db.failMu.Lock()
+	db.failure = nil
+	db.failMu.Unlock()
+	db.failed.Store(false)
+	db.reopens.Add(1)
 }
 
 // Compact writes a snapshot of the current state and truncates the WAL.
@@ -244,11 +624,20 @@ func (db *DB) Compact() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
-	return db.compactLocked()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if db.failed.Load() {
+		return db.failedErr()
+	}
+	if err := db.compactLocked(); err != nil {
+		db.fail(err)
+		return db.failedErr()
+	}
+	return nil
 }
 
+// compactLocked writes a snapshot covering the durable root and starts
+// a fresh log. Caller holds commitMu.
 func (db *DB) compactLocked() error {
 	if db.opts.Dir == "" {
 		return nil // in-memory store: nothing to compact
@@ -265,15 +654,16 @@ func (db *DB) compactLocked() error {
 	return nil
 }
 
-// resetWalLocked closes and deletes the WAL, opens a fresh log, and
-// syncs the directory so both namespace changes are durable — a crash
-// must not resurrect batches the snapshot already covers. Caller holds
-// writeMu.
+// resetWalLocked closes and deletes the WAL and opens a fresh log.
+// openWalWriter's create-time directory sync makes both namespace
+// changes durable together — a crash must not resurrect batches the
+// snapshot already covers. Caller holds commitMu.
 func (db *DB) resetWalLocked() error {
 	if db.wal != nil {
 		if err := db.wal.close(); err != nil {
 			return fmt.Errorf("storedb: close wal before truncate: %w", err)
 		}
+		db.wal = nil
 	}
 	if err := fsRemove(db.walPath()); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("storedb: remove wal: %w", err)
@@ -284,9 +674,6 @@ func (db *DB) resetWalLocked() error {
 	}
 	db.wal = w
 	db.pending = 0
-	if err := fsSyncDir(db.opts.Dir); err != nil {
-		return fmt.Errorf("storedb: sync dir after wal truncate: %w", err)
-	}
 	return nil
 }
 
@@ -298,6 +685,7 @@ type Tx struct {
 	tree     tree
 	writable bool
 	done     bool
+	seq      uint64 // commit sequence, fixed at staging (write tx only)
 	ops      []walOp
 }
 
@@ -306,7 +694,12 @@ type Tx struct {
 // it are strictly increasing across commits, which makes them usable as
 // cheap record versions (e.g. "was this marker rewritten since I read
 // it?") without a separate counter key.
-func (tx *Tx) CommitSeq() uint64 { return tx.db.seq.Load() + 1 }
+func (tx *Tx) CommitSeq() uint64 {
+	if tx.seq != 0 {
+		return tx.seq
+	}
+	return tx.db.seq.Load() + 1
+}
 
 // Bucket returns a handle to the named bucket. Buckets spring into being
 // on first write; reading a never-written bucket simply finds no keys.

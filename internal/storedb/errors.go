@@ -40,4 +40,12 @@ var (
 	// mode: replicas change only by applying the primary's batches, so
 	// local writes are refused rather than silently forking the replica.
 	ErrReplica = errors.New("storedb: database is in replica mode (read-only)")
+
+	// ErrStorageFailed is returned by write operations after a WAL
+	// append, fsync, truncate, or compaction error has moved the
+	// database into its sticky failed state. The state of the log is no
+	// longer trustworthy for appends, so the database refuses every
+	// write until Reopen has replayed and verified the durable state.
+	// Reads keep serving the last committed tree throughout.
+	ErrStorageFailed = errors.New("storedb: storage failed (read-only until reopen)")
 )

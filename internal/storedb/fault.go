@@ -1,15 +1,25 @@
 package storedb
 
-import "os"
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
 
 // Filesystem indirection for the operations durability depends on.
 // Production code always hits the real filesystem; crash-recovery tests
 // install testFS hooks to observe every sync point and to simulate a
 // power loss at any one of them (unsynced bytes vanish, un-fsynced
-// renames and removes roll back). A hook that is set replaces the real
-// operation entirely, so a "kill" hook can both refuse the sync and
-// leave the file exactly as an interrupted kernel would.
+// renames and removes roll back), and fault-injection tests install a
+// FaultPlan that scripts EIO, ENOSPC, torn writes, and metadata
+// failures. A hook that is set replaces the real operation entirely, so
+// a "kill" hook can both refuse the sync and leave the file exactly as
+// an interrupted kernel would.
 type fsHooks struct {
+	// write replaces f.Write for WAL appends; label is "wal".
+	write func(f *os.File, p []byte, label string) (int, error)
 	// sync replaces f.Sync(); label is "wal" or "snapshot".
 	sync func(f *os.File, label string) error
 	// syncDir replaces the open+fsync+close of a directory.
@@ -18,11 +28,21 @@ type fsHooks struct {
 	rename func(oldpath, newpath string) error
 	// remove replaces os.Remove.
 	remove func(path string) error
+	// created is a notification, not a replacement: it observes that
+	// path was just created and its directory entry is not yet durable.
+	created func(path string)
 }
 
-// testFS is nil-valued in production; crash tests swap hooks in and
-// restore the zero value before the next test.
+// testFS is nil-valued in production; crash and fault tests swap hooks
+// in and restore the zero value before the next test.
 var testFS fsHooks
+
+func fsWrite(f *os.File, p []byte, label string) (int, error) {
+	if testFS.write != nil {
+		return testFS.write(f, p, label)
+	}
+	return f.Write(p)
+}
 
 func fsSync(f *os.File, label string) error {
 	if testFS.sync != nil {
@@ -39,6 +59,10 @@ func fsSyncDir(path string) error {
 	if testFS.syncDir != nil {
 		return testFS.syncDir(path)
 	}
+	return realSyncDir(path)
+}
+
+func realSyncDir(path string) error {
 	d, err := os.Open(path)
 	if err != nil {
 		return err
@@ -62,4 +86,186 @@ func fsRemove(path string) error {
 		return testFS.remove(path)
 	}
 	return os.Remove(path)
+}
+
+func fsCreated(path string) {
+	if testFS.created != nil {
+		testFS.created(path)
+	}
+}
+
+// FaultOp names one class of filesystem operation a FaultRule can
+// intercept.
+type FaultOp string
+
+const (
+	FaultWrite   FaultOp = "write"
+	FaultSync    FaultOp = "sync"
+	FaultSyncDir FaultOp = "syncdir"
+	FaultRename  FaultOp = "rename"
+	FaultRemove  FaultOp = "remove"
+)
+
+// Canonical injected errors for fault plans. Deliberately not real
+// errno values, so an injected fault is always distinguishable from a
+// genuine filesystem failure in test output.
+var (
+	// ErrInjectedIO models EIO: the device refused the operation.
+	ErrInjectedIO = errors.New("storedb: injected I/O error")
+	// ErrInjectedNoSpace models ENOSPC: the volume ran out of space.
+	ErrInjectedNoSpace = errors.New("storedb: injected no space left on device")
+)
+
+// FaultRule makes matching filesystem operations fail, stall, or both.
+// The zero Label matches every label; Err nil with Delay set models a
+// slow device without failing the operation.
+type FaultRule struct {
+	// Op is the operation class the rule intercepts.
+	Op FaultOp
+	// Label restricts the rule to one file kind ("wal", "snapshot");
+	// empty matches all. Only write and sync ops carry labels.
+	Label string
+	// After skips the first After matching operations.
+	After int
+	// Count fires the rule at most Count times; 0 means unlimited.
+	Count int
+	// Prob fires the rule with this probability per match; 0 means
+	// always (deterministic).
+	Prob float64
+	// Err is the error to inject. Nil with Delay set makes the rule a
+	// pure latency model.
+	Err error
+	// Short, for write ops, writes this many bytes for real before
+	// failing — a torn write that leaves a partial frame on disk.
+	Short int
+	// Delay stalls the operation, modeling device latency. It applies
+	// whether or not the rule also injects an error.
+	Delay time.Duration
+
+	matched int
+	fired   int
+}
+
+// FaultPlan is a scripted set of fault rules driving the package's
+// filesystem hooks. Crash tests and the simulate binary build a plan,
+// Install it, run a workload, and UninstallFaults afterwards. Plans
+// are deterministic for a fixed seed (Prob draws come from the seeded
+// generator, in match order).
+type FaultPlan struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*FaultRule
+	fired int
+}
+
+// NewFaultPlan builds a plan over the given rules. The seed drives
+// probabilistic rules; plans with only deterministic rules ignore it.
+func NewFaultPlan(seed int64, rules ...*FaultRule) *FaultPlan {
+	return &FaultPlan{rng: rand.New(rand.NewSource(seed)), rules: rules}
+}
+
+// Fired returns how many faults the plan has injected so far.
+func (p *FaultPlan) Fired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// decide consults the rules for one operation. Matching rules are
+// evaluated in order; their delays accumulate, and the first rule that
+// yields an error stops the scan. The returned short prefix length is
+// meaningful for write ops only.
+func (p *FaultPlan) decide(op FaultOp, label string) (delay time.Duration, short int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.rules {
+		if r.Op != op || (r.Label != "" && r.Label != label) {
+			continue
+		}
+		r.matched++
+		if r.matched <= r.After {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && p.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fired++
+		delay += r.Delay
+		if r.Err != nil {
+			p.fired++
+			return delay, r.Short, r.Err
+		}
+	}
+	return delay, 0, nil
+}
+
+// Install points the package's filesystem hooks at the plan. Only one
+// plan (or crash simulator) can be installed at a time, and faults
+// apply to every database opened by the process — callers install
+// around a scoped workload and restore with UninstallFaults.
+func (p *FaultPlan) Install() { testFS = p.hooks() }
+
+// UninstallFaults restores direct filesystem access.
+func UninstallFaults() { testFS = fsHooks{} }
+
+func (p *FaultPlan) hooks() fsHooks {
+	return fsHooks{
+		write: func(f *os.File, b []byte, label string) (int, error) {
+			d, short, err := p.decide(FaultWrite, label)
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if err != nil {
+				n := 0
+				if short > 0 && short < len(b) {
+					n, _ = f.Write(b[:short])
+				}
+				return n, err
+			}
+			return f.Write(b)
+		},
+		sync: func(f *os.File, label string) error {
+			d, _, err := p.decide(FaultSync, label)
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if err != nil {
+				return err
+			}
+			return f.Sync()
+		},
+		syncDir: func(path string) error {
+			d, _, err := p.decide(FaultSyncDir, "")
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if err != nil {
+				return err
+			}
+			return realSyncDir(path)
+		},
+		rename: func(oldpath, newpath string) error {
+			d, _, err := p.decide(FaultRename, "")
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if err != nil {
+				return err
+			}
+			return os.Rename(oldpath, newpath)
+		},
+		remove: func(path string) error {
+			d, _, err := p.decide(FaultRemove, "")
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if err != nil {
+				return err
+			}
+			return os.Remove(path)
+		},
+	}
 }

@@ -2,6 +2,11 @@ package storedb
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -39,6 +44,268 @@ func FuzzDecodeWalBatch(f *testing.F) {
 			}
 		}
 	})
+}
+
+// WAL-tail mutation harness. pristineWal builds a log of n committed
+// single-op batches and returns its bytes plus the per-frame end
+// offsets; checkPrefixProperty writes a (possibly mutated) log to disk
+// and asserts the recovery prefix property — replay yields batches
+// 1..k for some k, in order, never a torn, duplicated, or reordered
+// frame — and that replayWal leaves a file a writer can append to.
+func pristineWal(t testing.TB, n int) (data []byte, frameEnds []int64) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "WAL")
+	w, err := openWalWriter(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := 1; seq <= n; seq++ {
+		b := walBatch{seq: uint64(seq), ops: []walOp{
+			{op: opPut, key: []byte(fmt.Sprintf("key-%03d", seq)), val: []byte(fmt.Sprintf("val-%03d", seq))},
+		}}
+		if err := w.appendGroup([]walBatch{b}); err != nil {
+			t.Fatal(err)
+		}
+		frameEnds = append(frameEnds, w.off)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, frameEnds
+}
+
+func checkPrefixProperty(t testing.TB, mutated []byte, committed int, mustStartAtOne bool) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "WAL")
+	if err := os.WriteFile(path, mutated, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay must emit a contiguous ascending run of the committed
+	// batches with each frame's content still bound to its sequence —
+	// never a duplicated, reordered, or cross-wired one. Mutations that
+	// only damage the log in place (truncation, byte corruption,
+	// appended garbage) additionally keep the run anchored at 1: a true
+	// prefix. A splice can fabricate a log that starts mid-history,
+	// which is exactly the shape of a legitimate post-compaction log —
+	// Open's snapshot sequence gate owns that case.
+	var first, next uint64
+	lastSeq, err := replayWal(path, func(b walBatch) error {
+		if first == 0 {
+			first, next = b.seq, b.seq
+		}
+		if b.seq != next {
+			t.Fatalf("replay emitted seq %d, want %d: not contiguous", b.seq, next)
+		}
+		if len(b.ops) != 1 {
+			t.Fatalf("replay emitted %d ops in batch %d, want 1", len(b.ops), b.seq)
+		}
+		wantKey := fmt.Sprintf("key-%03d", b.seq)
+		if string(b.ops[0].key) != wantKey {
+			t.Fatalf("batch %d carries key %q, want %q: frame content reassigned", b.seq, b.ops[0].key, wantKey)
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if first != 0 && lastSeq != next-1 {
+		t.Fatalf("replay reported lastSeq %d after emitting up to %d", lastSeq, next-1)
+	}
+	if lastSeq > uint64(committed) {
+		t.Fatalf("replay produced seq %d from a log of %d", lastSeq, committed)
+	}
+	if mustStartAtOne && first > 1 {
+		t.Fatalf("replay started at seq %d, want a prefix from 1", first)
+	}
+
+	// After truncation the log must accept appends that future recovery
+	// also reads back — the recovered prefix composes with new commits.
+	w, err := openWalWriter(path, false)
+	if err != nil {
+		t.Fatalf("reopen after truncate: %v", err)
+	}
+	cont := walBatch{seq: lastSeq + 1, ops: []walOp{{op: opPut, key: []byte("cont"), val: []byte("v")}}}
+	if err := w.appendGroup([]walBatch{cont}); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	w.close()
+	gotCont := false
+	if _, _, err := scanWal(path, func(b walBatch) error {
+		if b.seq == lastSeq+1 && string(b.ops[0].key) == "cont" {
+			gotCont = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("rescan: %v", err)
+	}
+	if !gotCont {
+		t.Fatal("appended batch not visible after truncated-tail recovery")
+	}
+}
+
+// FuzzWALTail mutates a pristine multi-batch log — byte flips,
+// truncations, duplicated and reordered frames, arbitrary splices —
+// and asserts the recovery prefix property holds for every mutation.
+func FuzzWALTail(f *testing.F) {
+	const committed = 6
+	data, ends := pristineWal(f, committed)
+
+	// Seeds: one exemplar of each mutation class.
+	f.Add(0, 0, data[:ends[2]])                                   // clean truncation at a frame boundary
+	f.Add(1, int(ends[1])+5, []byte{0xff})                        // corrupt a byte mid-frame
+	f.Add(2, int(ends[committed-1]), data[:ends[0]])              // duplicate frame 1 at the tail
+	f.Add(2, int(ends[committed-1]), data[ends[1]:ends[2]])       // re-append frame 3 (reorder)
+	f.Add(0, int(ends[committed-1])-3, []byte{})                  // torn final frame
+	f.Add(2, int(ends[committed-1]), []byte{0, 0, 0, 9, 1, 2, 3}) // garbage tail
+
+	f.Fuzz(func(t *testing.T, mode, pos int, chunk []byte) {
+		mutated := append([]byte(nil), data...)
+		if pos < 0 {
+			pos = -pos
+		}
+		switch mode % 3 {
+		case 0: // truncate at pos
+			if pos > len(mutated) {
+				pos = len(mutated)
+			}
+			mutated = mutated[:pos]
+		case 1: // overwrite bytes at pos with chunk
+			if pos >= len(mutated) {
+				pos = pos % (len(mutated) + 1)
+			}
+			for i, c := range chunk {
+				if pos+i >= len(mutated) {
+					break
+				}
+				mutated[pos+i] = c
+			}
+		case 2: // splice chunk in at pos (insert, shifting the tail)
+			if pos > len(mutated) {
+				pos = pos % (len(mutated) + 1)
+			}
+			rest := append([]byte(nil), mutated[pos:]...)
+			mutated = append(append(mutated[:pos], chunk...), rest...)
+		}
+		checkPrefixProperty(t, mutated, committed, mode%3 == 0)
+	})
+}
+
+// TestWALTruncationAtEveryOffset cuts the log after every byte offset
+// and checks the prefix property for each — the deterministic
+// exhaustive core of what FuzzWALTail explores.
+func TestWALTruncationAtEveryOffset(t *testing.T) {
+	const committed = 5
+	data, _ := pristineWal(t, committed)
+	for cut := 0; cut <= len(data); cut++ {
+		checkPrefixProperty(t, data[:cut], committed, true)
+	}
+}
+
+// TestWALCRCFlipAtEveryFrame flips one bit inside each frame's payload
+// (and separately in its header) and checks that the damaged frame and
+// everything after it is discarded while the frames before it survive.
+func TestWALCRCFlipAtEveryFrame(t *testing.T) {
+	const committed = 5
+	data, ends := pristineWal(t, committed)
+	start := int64(0)
+	for i, end := range ends {
+		for _, off := range []int64{start, start + walHeaderSize, end - 1} {
+			mutated := append([]byte(nil), data...)
+			mutated[off] ^= 0x40
+			var next uint64 = 1
+			lastSeq, _, err := scanWal(writeTempWal(t, mutated), func(b walBatch) error {
+				if b.seq != next {
+					t.Fatalf("frame %d flip at %d: seq %d after %d", i, off, b.seq, next-1)
+				}
+				next++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lastSeq > uint64(i) {
+				t.Fatalf("frame %d flip at %d: damaged frame survived (lastSeq %d)", i, off, lastSeq)
+			}
+		}
+		start = end
+	}
+}
+
+// TestWALDuplicatedFrameCutsTail covers the seq-contiguity rule
+// directly: a duplicated or reordered frame ends replay at the last
+// good prefix instead of re-applying old operations. The duplicated
+// frame has a valid CRC, so only the sequence check can catch it.
+func TestWALDuplicatedFrameCutsTail(t *testing.T) {
+	const committed = 4
+	data, ends := pristineWal(t, committed)
+
+	// Duplicate frame 2 (bytes ends[0]:ends[1]) at the tail.
+	dup := append(append([]byte(nil), data...), data[ends[0]:ends[1]]...)
+	checkPrefixProperty(t, dup, committed, true)
+	lastSeq, _, err := scanWal(writeTempWal(t, dup), func(walBatch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != committed {
+		t.Fatalf("duplicated tail frame: lastSeq = %d, want %d", lastSeq, committed)
+	}
+
+	// Duplicate frame 2 in the middle: everything from the duplicate on
+	// is discarded, frames 1-2 survive.
+	mid := append(append([]byte(nil), data[:ends[1]]...), data[ends[0]:]...)
+	lastSeq, _, err = scanWal(writeTempWal(t, mid), func(walBatch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != 2 {
+		t.Fatalf("mid-log duplicate: lastSeq = %d, want 2", lastSeq)
+	}
+
+	// A skipped frame (gap) likewise cuts the tail.
+	gap := append(append([]byte(nil), data[:ends[1]]...), data[ends[2]:]...)
+	lastSeq, _, err = scanWal(writeTempWal(t, gap), func(walBatch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != 2 {
+		t.Fatalf("sequence gap: lastSeq = %d, want 2", lastSeq)
+	}
+}
+
+// TestWALForgedLengthHeader forges a frame header whose length field
+// points past the end of the file, and one whose CRC matches truncated
+// garbage; neither may panic or over-read.
+func TestWALForgedLengthHeader(t *testing.T) {
+	const committed = 3
+	data, _ := pristineWal(t, committed)
+	var hdr [walHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], 1<<29)
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(nil))
+	forged := append(append([]byte(nil), data...), hdr[:]...)
+	lastSeq, _, err := scanWal(writeTempWal(t, forged), func(walBatch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != committed {
+		t.Fatalf("forged header: lastSeq = %d, want %d", lastSeq, committed)
+	}
+}
+
+func writeTempWal(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "WAL")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
 }
 
 // FuzzTakeString hardens the ordered-key string decoder.

@@ -164,7 +164,7 @@ func (db *DB) CommitSignal() <-chan struct{} {
 }
 
 // noteCommit records a committed batch in the tail ring and wakes
-// CommitSignal waiters. Called with writeMu held.
+// CommitSignal waiters. Called with commitMu held.
 func (db *DB) noteCommit(b walBatch) {
 	db.replMu.Lock()
 	if db.recent != nil {
@@ -232,7 +232,7 @@ var errScanDone = fmt.Errorf("storedb: scan done")
 // per ApplyBatch with the batch just applied, and once after
 // RestoreSnapshotFrom with an op-less Batch carrying the restored
 // sequence (meaning "the entire state was replaced"). The hook runs
-// with the write lock held, so it must not call Update, ApplyBatch,
+// with the commit lock held, so it must not call Update, ApplyBatch,
 // Compact, or RestoreSnapshotFrom; View is safe. Servers use it to
 // invalidate derived caches when replication changes state underneath
 // them. A nil fn removes the hook.
@@ -261,10 +261,17 @@ func (db *DB) ApplyBatch(b Batch) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	if db.failed.Load() {
+		return db.failedErr()
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.drainOpenGroupLocked()
 	if db.closed.Load() {
 		return ErrClosed
+	}
+	if db.failed.Load() {
+		return db.failedErr()
 	}
 	cur := db.seq.Load()
 	if b.Seq <= cur {
@@ -276,10 +283,16 @@ func (db *DB) ApplyBatch(b Batch) error {
 
 	wb := importBatch(b)
 	if db.wal != nil {
-		if err := db.wal.append(&wb); err != nil {
-			return err
+		if err := db.wal.appendGroup([]walBatch{wb}); err != nil {
+			db.fail(err)
+			return db.failedErr()
+		}
+		if db.opts.SyncWrites {
+			db.walFsyncs.Add(1)
 		}
 	}
+	db.walGroups.Add(1)
+	db.walBatches.Add(1)
 	t := *db.current.Load()
 	for _, op := range wb.ops {
 		switch op.op {
@@ -289,15 +302,22 @@ func (db *DB) ApplyBatch(b Batch) error {
 			t, _ = t.Delete(op.key)
 		}
 	}
+	db.writeMu.Lock()
 	db.current.Store(&t)
 	db.seq.Store(b.Seq)
+	db.staged = t
+	db.stageSeq = b.Seq
+	db.writeMu.Unlock()
 	db.noteCommit(wb)
 	db.fireApplyHook(b)
 
 	db.pending++
 	if db.wal != nil && db.opts.CompactEvery > 0 && db.pending >= db.opts.CompactEvery {
 		if err := db.compactLocked(); err != nil {
-			return fmt.Errorf("storedb: auto-compaction: %w", err)
+			// The batch is durable and applied; only compaction died.
+			// Fail sticky rather than returning an ambiguous error for
+			// a successful apply.
+			db.fail(fmt.Errorf("auto-compaction: %w", err))
 		}
 	}
 	return nil
@@ -312,10 +332,10 @@ func (db *DB) WriteSnapshotTo(w io.Writer) (uint64, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
 	}
-	db.writeMu.Lock()
+	db.commitMu.Lock()
 	t := *db.current.Load()
 	seq := db.seq.Load()
-	db.writeMu.Unlock()
+	db.commitMu.Unlock()
 	if err := encodeSnapshot(w, t, seq); err != nil {
 		return seq, err
 	}
@@ -336,21 +356,31 @@ func (db *DB) RestoreSnapshotFrom(r io.Reader) (uint64, error) {
 		return 0, err
 	}
 
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.drainOpenGroupLocked()
 	if db.closed.Load() {
 		return 0, ErrClosed
 	}
+	if db.failed.Load() {
+		return 0, db.failedErr()
+	}
 	if db.opts.Dir != "" {
 		if err := writeSnapshot(db.opts.Dir, t, seq); err != nil {
-			return 0, err
+			db.fail(err)
+			return 0, db.failedErr()
 		}
 		if err := db.resetWalLocked(); err != nil {
-			return 0, err
+			db.fail(err)
+			return 0, db.failedErr()
 		}
 	}
+	db.writeMu.Lock()
 	db.current.Store(&t)
 	db.seq.Store(seq)
+	db.staged = t
+	db.stageSeq = seq
+	db.writeMu.Unlock()
 	db.snapSeq.Store(seq)
 	db.pending = 0
 

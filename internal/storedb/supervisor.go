@@ -1,0 +1,67 @@
+package storedb
+
+import (
+	"context"
+	"time"
+)
+
+// SuperviseReopen watches db for the sticky failed state and drives the
+// only recovery path there is: Reopen, retried with exponential backoff
+// while the underlying fault persists. It returns when ctx is done.
+//
+// The loop is deliberately dumb. It does not try to classify the
+// failure cause — a full disk and a dying disk look the same from here,
+// and both are fixed (or not) outside the process. All it knows is that
+// Reopen either re-verifies the on-disk state and clears the failure,
+// or leaves the database failed for the next attempt. Backoff starts at
+// min and doubles to max so a persistent fault costs one cheap syscall
+// probe every poll and one recovery attempt every max interval, while a
+// transient fault (operator freed disk space, device came back) is
+// picked up within roughly its current backoff step.
+//
+// poll is how often the healthy state is re-checked; logf (optional)
+// receives progress lines in log.Printf style.
+func SuperviseReopen(ctx context.Context, db *DB, poll time.Duration, logf func(format string, args ...any)) {
+	if poll <= 0 {
+		poll = time.Second
+	}
+	const (
+		minBackoff = time.Second
+		maxBackoff = 30 * time.Second
+	)
+	backoff := minBackoff
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(poll):
+		}
+		h := db.Health()
+		if !h.Failed {
+			backoff = minBackoff
+			continue
+		}
+		if logf != nil {
+			logf("storedb: storage failed (%s); attempting reopen", h.Cause)
+		}
+		if err := db.Reopen(); err != nil {
+			if logf != nil {
+				logf("storedb: reopen failed: %v; next attempt in %s", err, backoff)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		if logf != nil {
+			logf("storedb: storage reopened; writes restored")
+		}
+		backoff = minBackoff
+	}
+}

@@ -1,0 +1,49 @@
+package storedb
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSuperviseReopenRecovers drives the daemon's storage supervisor
+// through a failure: a transient WAL fsync fault trips the sticky
+// state, the supervisor notices and reopens, and writes come back
+// without any outside intervention.
+func TestSuperviseReopenRecovers(t *testing.T) {
+	db, err := Open(Options{Dir: t.TempDir(), SyncWrites: true, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := putKey(db, "good"); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := NewFaultPlan(1, &FaultRule{Op: FaultSync, Label: "wal", Count: 1, Err: ErrInjectedIO})
+	plan.Install()
+	err = putKey(db, "bad")
+	UninstallFaults()
+	if !errors.Is(err, ErrStorageFailed) {
+		t.Fatalf("faulted write err = %v, want ErrStorageFailed", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go SuperviseReopen(ctx, db, 5*time.Millisecond, t.Logf)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Health().Failed && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h := db.Health(); h.Failed {
+		t.Fatalf("supervisor never recovered: %+v", h)
+	}
+	if err := putKey(db, "after"); err != nil {
+		t.Fatalf("write after supervised reopen: %v", err)
+	}
+	mustHave(t, db, "good", true)
+	mustHave(t, db, "bad", false)
+	mustHave(t, db, "after", true)
+}

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Write-ahead log. Each committed transaction appends one framed record:
@@ -20,12 +21,16 @@ import (
 //	[1 byte op (1=put, 2=delete)][uvarint key len][key]
 //	and for puts [uvarint value len][value]
 //
-// Recovery replays records in order. A record with a bad length or CRC is
-// treated as a torn tail: everything before it is kept, the file is
-// truncated at its start, and recovery succeeds. Corruption that is *not*
-// at the tail cannot be distinguished from a torn tail by the reader, so
-// the same policy applies; the snapshot sequence number guards against
-// replaying stale batches after compaction.
+// Recovery replays records in order. A record with a bad length or CRC,
+// or one whose sequence number does not directly follow its
+// predecessor's, is treated as a torn tail: everything before it is
+// kept, the file is truncated at its start, and recovery succeeds.
+// Corruption that is *not* at the tail cannot be distinguished from a
+// torn tail by the reader, so the same policy applies; the snapshot
+// sequence number guards against replaying stale batches after
+// compaction. Together these give the recovery prefix property: replay
+// always yields an exact prefix of the committed batches, never a torn,
+// duplicated, or reordered one.
 
 const (
 	opPut    byte = 1
@@ -74,7 +79,10 @@ func decodeWalBatch(payload []byte) (walBatch, error) {
 	b.seq = binary.BigEndian.Uint64(payload)
 	payload = payload[8:]
 	count, n := binary.Uvarint(payload)
-	if n <= 0 {
+	// Every op costs at least two payload bytes, so a count beyond the
+	// remaining length is corrupt — checked before the ops slice is
+	// sized from it.
+	if n <= 0 || count > uint64(len(payload)-n) {
 		return b, fmt.Errorf("%w: bad op count", ErrCorrupt)
 	}
 	payload = payload[n:]
@@ -125,9 +133,22 @@ type walWriter struct {
 }
 
 func openWalWriter(path string, sync bool) (*walWriter, error) {
+	_, statErr := os.Stat(path)
+	fresh := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("storedb: open wal: %w", err)
+	}
+	if fresh {
+		// The file exists but its directory entry does not survive a
+		// power loss until the parent directory is synced — a crash
+		// right after the first commit could otherwise lose the whole
+		// log while the commit was already acknowledged.
+		fsCreated(path)
+		if err := fsSyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storedb: sync dir after wal create: %w", err)
+		}
 	}
 	info, err := f.Stat()
 	if err != nil {
@@ -137,17 +158,31 @@ func openWalWriter(path string, sync bool) (*walWriter, error) {
 	return &walWriter{f: f, sync: sync, off: info.Size()}, nil
 }
 
-func (w *walWriter) append(b *walBatch) error {
-	payload := b.encode()
-	var hdr [walHeaderSize]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		w.rewind()
-		return fmt.Errorf("storedb: wal write: %w", err)
+// appendGroup appends the batches as consecutive frames with a single
+// buffered write and, when syncing, a single fsync covering them all —
+// the group-commit amortization. On any error the file is rewound to
+// the last good frame boundary: the whole group was reported as failed
+// and none of it may linger where recovery would resurrect it.
+func (w *walWriter) appendGroup(batches []walBatch) error {
+	payloads := make([][]byte, len(batches))
+	size := 0
+	for i := range batches {
+		payloads[i] = batches[i].encode()
+		size += walHeaderSize + len(payloads[i])
 	}
-	if _, err := w.f.Write(payload); err != nil {
+	buf := make([]byte, 0, size)
+	for _, payload := range payloads {
+		var hdr [walHeaderSize]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	if n, err := fsWrite(w.f, buf, "wal"); err != nil || n != len(buf) {
 		w.rewind()
+		if err == nil {
+			err = fmt.Errorf("short write: %d of %d bytes", n, len(buf))
+		}
 		return fmt.Errorf("storedb: wal write: %w", err)
 	}
 	if w.sync {
@@ -156,7 +191,7 @@ func (w *walWriter) append(b *walBatch) error {
 			return fmt.Errorf("storedb: wal sync: %w", err)
 		}
 	}
-	w.off += walHeaderSize + int64(len(payload))
+	w.off += int64(len(buf))
 	return nil
 }
 
@@ -183,6 +218,15 @@ func (w *walWriter) close() error {
 // boundary). It never modifies the file, so replication tailing can
 // scan the log a writer is still appending to.
 func scanWal(path string, apply func(walBatch) error) (lastSeq uint64, good int64, err error) {
+	return scanWalFrames(path, func(b walBatch, _ int64) error { return apply(b) })
+}
+
+// scanWalFrames is scanWal with the end offset of each frame passed to
+// apply, so callers (Reopen) can cut the log at an exact frame
+// boundary. Frames must be contiguous: a frame whose sequence number
+// is not its predecessor's plus one ends the scan as a torn tail —
+// duplicated or reordered frames never replay.
+func scanWalFrames(path string, apply func(b walBatch, end int64) error) (lastSeq uint64, good int64, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, 0, nil
@@ -191,6 +235,11 @@ func scanWal(path string, apply func(walBatch) error) (lastSeq uint64, good int6
 		return 0, 0, fmt.Errorf("storedb: open wal for replay: %w", err)
 	}
 	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("storedb: stat wal for replay: %w", err)
+	}
+	size := info.Size()
 
 	r := bufio.NewReaderSize(f, 1<<16)
 	var offset int64
@@ -202,7 +251,11 @@ func scanWal(path string, apply func(walBatch) error) (lastSeq uint64, good int6
 		}
 		length := binary.BigEndian.Uint32(hdr[0:4])
 		wantCRC := binary.BigEndian.Uint32(hdr[4:8])
-		if length == 0 || length > maxRecordSize {
+		// A length pointing past the bytes actually on disk is a torn or
+		// forged header; checking before the allocation keeps a corrupt
+		// frame from costing a payload-sized buffer nothing can fill.
+		if length == 0 || length > maxRecordSize ||
+			int64(length) > size-offset-walHeaderSize {
 			break
 		}
 		payload := make([]byte, length)
@@ -216,11 +269,15 @@ func scanWal(path string, apply func(walBatch) error) (lastSeq uint64, good int6
 		if derr != nil {
 			break
 		}
-		if err := apply(batch); err != nil {
+		if lastSeq != 0 && batch.seq != lastSeq+1 {
+			break
+		}
+		end := offset + walHeaderSize + int64(length)
+		if err := apply(batch, end); err != nil {
 			return lastSeq, offset, err
 		}
 		lastSeq = batch.seq
-		offset += walHeaderSize + int64(length)
+		offset = end
 	}
 	return lastSeq, offset, nil
 }

@@ -296,12 +296,33 @@ type AdmissionClassInfo struct {
 	Throttled uint64 `xml:"throttled"`
 }
 
+// Storage states reported by HealthzResponse and ReplStatusResponse.
+const (
+	StorageOK     = "ok"
+	StorageFailed = "failed"
+)
+
+// StorageInfo describes the server's storage write pipeline: whether
+// the store is in its sticky failed (read-only) state and why, how
+// many reopen recoveries have run, and the group-commit counters —
+// Batches/Groups is the mean commit-group depth, Fsyncs/Batches the
+// amortized fsync cost per write.
+type StorageInfo struct {
+	State       string `xml:"state"`
+	LastFailure string `xml:"last-failure,omitempty"`
+	Reopens     uint64 `xml:"reopens"`
+	WALGroups   uint64 `xml:"wal-groups"`
+	WALBatches  uint64 `xml:"wal-batches"`
+	WALFsyncs   uint64 `xml:"wal-fsyncs"`
+}
+
 // HealthzResponse is the GET /healthz document: enough for a client to
 // decide whether this endpoint can serve its request (role, drain
-// state) and how fresh it is (sequence number and replication lag).
-// When adaptive admission is enabled, Brownout names the current
-// degradation level, AdmitLimit is the limiter's concurrency estimate,
-// and Classes breaks admissions and sheds down by priority class.
+// state, storage health) and how fresh it is (sequence number and
+// replication lag). When adaptive admission is enabled, Brownout names
+// the current degradation level, AdmitLimit is the limiter's
+// concurrency estimate, and Classes breaks admissions and sheds down
+// by priority class.
 type HealthzResponse struct {
 	XMLName    xml.Name             `xml:"healthz"`
 	Role       string               `xml:"role"`
@@ -310,6 +331,7 @@ type HealthzResponse struct {
 	Lag        uint64               `xml:"lag"`
 	Draining   bool                 `xml:"draining"`
 	Inflight   int64                `xml:"inflight"`
+	Storage    *StorageInfo         `xml:"storage,omitempty"`
 	Brownout   string               `xml:"brownout,omitempty"`
 	AdmitLimit int                  `xml:"admit-limit,omitempty"`
 	Classes    []AdmissionClassInfo `xml:"admission>class,omitempty"`
@@ -332,6 +354,7 @@ type ReplStatusResponse struct {
 	Role     string              `xml:"role"`
 	Seq      uint64              `xml:"seq"`
 	SnapSeq  uint64              `xml:"snap-seq"`
+	Storage  string              `xml:"storage,omitempty"`
 	Replicas []ReplicaStatusInfo `xml:"replicas>replica,omitempty"`
 }
 
