@@ -27,12 +27,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-smoke runs the E19 lookup-throughput, E20 overload, and E21
-# fault-grid benchmarks once each, as cheap regression tripwires for the
-# read-path fast lane, the admission layer, and the group-commit write
-# pipeline.
+# bench-smoke runs the E19 lookup-throughput, E20 overload, E21
+# fault-grid, and E22 partition-safety benchmarks once each, as cheap
+# regression tripwires for the read-path fast lane, the admission layer,
+# the group-commit write pipeline, and epoch-fenced failover.
 bench-smoke:
-	$(GO) test -run=NONE -bench='E19|E20|E21' -benchtime=1x .
+	$(GO) test -run=NONE -bench='E19|E20|E21|E22' -benchtime=1x .
 
 # fuzz-smoke gives the WAL-tail fuzzer a short budget: fifteen seconds
 # of mutated tails (CRC flips, truncations, spliced frames) against the

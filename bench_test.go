@@ -442,6 +442,38 @@ func BenchmarkE21WriteGroupCommit(b *testing.B) {
 	b.ReportMetric(res.Speedup, "group-commit-speedup-x")
 }
 
+// BenchmarkE22PartitionSafety runs the full partition grid: a 3-node
+// tier promoted mid-partition under client write load, across the
+// isolation, split-brain-client, and reply-loss cells. Headline
+// metrics: dual-acked writes (must be zero), quarantined stale batches,
+// writes acked under the new epoch, and whether the healed tier
+// converged byte-identically (1 = yes on every cell).
+func BenchmarkE22PartitionSafety(b *testing.B) {
+	var res simulation.PartitionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunPartition(simulation.DefaultPartitionConfig(22))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var dual, fenced int
+	var quarantined uint64
+	converged := 1.0
+	for _, c := range res.Cells {
+		dual += c.DualAcked
+		quarantined += c.Quarantined
+		fenced += c.FencedAcked
+		if !c.Converged {
+			converged = 0
+		}
+	}
+	b.ReportMetric(float64(dual), "dual-acked-writes")
+	b.ReportMetric(float64(quarantined), "quarantined-batches")
+	b.ReportMetric(float64(fenced), "fenced-epoch-acks")
+	b.ReportMetric(converged, "converged")
+}
+
 // BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
 // throughput into the embedded store through the full repository path.
 func BenchmarkE14StoredbIngest(b *testing.B) {

@@ -22,6 +22,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/ on the -pprof listener
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -114,7 +115,15 @@ func main() {
 		if id == "" {
 			id = *addr
 		}
-		repl = &replication.Replica{DB: store.DB(), Primary: *primaryURL, ID: id}
+		repl = &replication.Replica{
+			DB:      store.DB(),
+			Primary: *primaryURL,
+			ID:      id,
+			// Divergence repair quarantines displaced batches here —
+			// writes acked by a deposed primary that the new epoch never
+			// saw. `reputectl -data <dir> journal` lists them.
+			Journal: &replication.RecoveryJournal{Path: filepath.Join(*dataDir, "recovery-journal")},
+		}
 		scfg.Replica = true
 		scfg.PrimaryURL = *primaryURL
 		scfg.ReplicaSource = repl

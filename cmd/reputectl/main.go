@@ -11,6 +11,7 @@
 //	reputectl -data ./data software <hex id>
 //	reputectl -data ./data user <name>
 //	reputectl -data ./data top 20
+//	reputectl -data ./data journal
 //	reputectl health http://localhost:8080
 //
 // health is the one online command: it queries a running server's
@@ -28,12 +29,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"softreputation/internal/core"
+	"softreputation/internal/replication"
 	"softreputation/internal/repo"
 	"softreputation/internal/server"
 	"softreputation/internal/storedb"
@@ -45,7 +48,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | health <url> | loadstatus <url> | storagestatus <url>")
+		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | journal | health <url> | loadstatus <url> | storagestatus <url>")
 	}
 
 	// health and loadstatus talk to a running server over HTTP, so they
@@ -69,6 +72,12 @@ func main() {
 			log.Fatal("reputectl: storagestatus needs a server base URL")
 		}
 		cmdStorageStatus(args[1])
+		return
+	}
+	// journal reads the recovery journal file directly, not the store,
+	// so it works alongside a running daemon.
+	if args[0] == "journal" {
+		cmdJournal(filepath.Join(*dataDir, "recovery-journal"))
 		return
 	}
 
@@ -301,6 +310,10 @@ func cmdHealth(base string) {
 	if h.Primary != "" {
 		fmt.Printf("primary:   %s\n", h.Primary)
 	}
+	fmt.Printf("epoch:     %d\n", h.Epoch)
+	if h.Fenced {
+		fmt.Println("fenced:    true (a higher epoch exists; writes refused)")
+	}
 	fmt.Printf("seq:       %d\n", h.Seq)
 	fmt.Printf("lag:       %d\n", h.Lag)
 	fmt.Printf("draining:  %v\n", h.Draining)
@@ -311,6 +324,7 @@ func cmdHealth(base string) {
 		log.Fatalf("reputectl: replstatus: %v", err)
 	}
 	fmt.Printf("snap-seq:  %d\n", rs.SnapSeq)
+	fmt.Printf("digest:    %016x\n", rs.Digest)
 	if len(rs.Replicas) == 0 {
 		fmt.Println("replicas:  none tracked")
 		return
@@ -383,6 +397,35 @@ func cmdStorageStatus(base string) {
 	if st.WALBatches > 0 {
 		fmt.Printf("fsyncs:    %.3f per commit\n",
 			float64(st.WALFsyncs)/float64(st.WALBatches))
+	}
+}
+
+// cmdJournal prints the recovery journal: writes that were acknowledged
+// by a deposed primary and displaced by the epoch that superseded it.
+// Divergence repair quarantines them here instead of silently dropping
+// (the user was told the write succeeded) or keeping them (the new
+// primary's history says otherwise); each needs an operator decision to
+// replay or discard.
+func cmdJournal(path string) {
+	entries, err := replication.ReadJournal(path)
+	if err != nil {
+		log.Fatalf("reputectl: %v", err)
+	}
+	if len(entries) == 0 {
+		fmt.Println("recovery journal is empty: no writes displaced by failover")
+		return
+	}
+	fmt.Printf("%d quarantined batch(es) in %s\n", len(entries), path)
+	for i, e := range entries {
+		fmt.Printf("#%d seq %d: acked under epoch %d, displaced by epoch %d, %d op(s)\n",
+			i+1, e.Batch.Seq, e.AckedEpoch, e.SupersededBy, len(e.Batch.Ops))
+		for _, op := range e.Batch.Ops {
+			verb := "put"
+			if op.Delete {
+				verb = "del"
+			}
+			fmt.Printf("   %s %q (%d bytes)\n", verb, op.Key, len(op.Val))
+		}
 	}
 }
 

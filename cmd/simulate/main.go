@@ -189,6 +189,13 @@ func experiments() []experiment {
 			}
 			return simulation.RunFaultGrid(cfg)
 		}},
+		{"e22", "E22: partition safety — epoch fencing and divergence repair under split-brain", func(seed int64, quick bool) (fmt.Stringer, error) {
+			cfg := simulation.DefaultPartitionConfig(seed)
+			if quick {
+				cfg = simulation.QuickPartitionConfig(seed)
+			}
+			return simulation.RunPartition(cfg)
+		}},
 	}
 }
 
@@ -229,6 +236,9 @@ func main() {
 	}
 	if want["faultgrid"] {
 		want["e21"] = true
+	}
+	if want["partition"] {
+		want["e22"] = true
 	}
 
 	matched := 0

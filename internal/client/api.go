@@ -120,11 +120,24 @@ func (a *API) roundTrip(ctx context.Context, base, path string, body []byte, res
 	if p, ok := ctx.Value(priorityKey{}).(string); ok && p != "" {
 		req.Header.Set(wire.HeaderPriority, p)
 	}
+	if a.failover != nil {
+		// Carry the highest epoch we have seen: a deposed primary fences
+		// itself on the first request from any client that already spoke
+		// to its successor.
+		if e := a.failover.Epoch(); e > 0 {
+			req.Header.Set(wire.HeaderEpoch, strconv.FormatUint(e, 10))
+		}
+	}
 	httpResp, err := a.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s: %w", path, err)
 	}
 	defer httpResp.Body.Close()
+	if a.failover != nil {
+		if e, perr := strconv.ParseUint(httpResp.Header.Get(wire.HeaderEpoch), 10, 64); perr == nil {
+			a.failover.ObserveEpoch(e)
+		}
+	}
 	limited := io.LimitReader(httpResp.Body, maxResponseBytes)
 	if httpResp.StatusCode/100 != 2 {
 		statusErr := &resilience.HTTPStatusError{

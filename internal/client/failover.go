@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"softreputation/internal/resilience"
+	"softreputation/internal/vclock"
 	"softreputation/internal/wire"
 )
 
@@ -33,11 +35,37 @@ type Failover struct {
 	api       *API
 	endpoints []string
 
-	mu       sync.Mutex
-	primary  string // believed write endpoint
-	prefRead string // last endpoint that served a read
-	stats    FailoverStats
+	// ProbeTTL bounds how long one endpoint's /healthz answer is reused
+	// before the endpoint is probed again. A promotion sweep hits every
+	// endpoint; without the cache a burst of failing writes re-probes the
+	// whole tier per attempt. 0 selects defaultProbeTTL; negative
+	// disables caching.
+	ProbeTTL time.Duration
+	// Clock times the probe cache; nil selects the real clock.
+	// Simulations inject their virtual clock.
+	Clock vclock.Clock
+
+	mu         sync.Mutex
+	primary    string // believed write endpoint
+	prefRead   string // last endpoint that served a read
+	epoch      uint64 // highest promotion epoch observed on any response
+	probeCache map[string]probeEntry
+	stats      FailoverStats
 }
+
+// probeEntry caches one endpoint's last /healthz outcome. Failed probes
+// cache too — a dead endpoint re-probed on every sweep is exactly the
+// stall the TTL exists to avoid.
+type probeEntry struct {
+	h   wire.HealthzResponse
+	err bool
+	at  time.Time
+}
+
+// defaultProbeTTL is how long a health probe result lives without an
+// explicit ProbeTTL. Short: a fencing decision should lag a promotion
+// by at most one probe interval.
+const defaultProbeTTL = time.Second
 
 // FailoverStats counts the selector's decisions.
 type FailoverStats struct {
@@ -48,6 +76,9 @@ type FailoverStats struct {
 	RedirectsFollowed uint64
 	// HealthProbes counts /healthz sweeps hunting for a primary.
 	HealthProbes uint64
+	// ProbeCacheHits counts endpoint probes answered from the TTL cache
+	// instead of the network.
+	ProbeCacheHits uint64
 	// PrimarySwitches counts changes of the believed primary.
 	PrimarySwitches uint64
 }
@@ -72,6 +103,33 @@ func (f *Failover) Stats() FailoverStats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.stats
+}
+
+// Epoch returns the highest promotion epoch this client has observed
+// on any response. Requests carry it back out (wire.HeaderEpoch), so a
+// client that has spoken to the new primary fences the old one on
+// first contact.
+func (f *Failover) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// ObserveEpoch folds an epoch seen on a response header into the
+// client's view.
+func (f *Failover) ObserveEpoch(e uint64) {
+	f.mu.Lock()
+	if e > f.epoch {
+		f.epoch = e
+	}
+	f.mu.Unlock()
+}
+
+func (f *Failover) now() time.Time {
+	if f.Clock != nil {
+		return f.Clock.Now()
+	}
+	return time.Now()
 }
 
 func (f *Failover) setPrimary(base string) {
@@ -214,18 +272,54 @@ func (f *Failover) attemptWrite(ctx context.Context, op func(base string) error)
 	return lastErr
 }
 
+// cachedHealthz probes one endpoint's /healthz, reusing a result
+// younger than ProbeTTL. ok is false when the endpoint did not answer.
+func (f *Failover) cachedHealthz(ctx context.Context, base string) (wire.HealthzResponse, bool) {
+	ttl := f.ProbeTTL
+	if ttl == 0 {
+		ttl = defaultProbeTTL
+	}
+	if ttl > 0 {
+		now := f.now()
+		f.mu.Lock()
+		if e, hit := f.probeCache[base]; hit && now.Sub(e.at) < ttl {
+			f.stats.ProbeCacheHits++
+			f.mu.Unlock()
+			return e.h, !e.err
+		}
+		f.mu.Unlock()
+	}
+	h, err := f.api.Healthz(ctx, base)
+	if ttl > 0 {
+		f.mu.Lock()
+		if f.probeCache == nil {
+			f.probeCache = make(map[string]probeEntry)
+		}
+		f.probeCache[base] = probeEntry{h: h, err: err != nil, at: f.now()}
+		f.mu.Unlock()
+	}
+	return h, err == nil
+}
+
 // probeForPrimary sweeps /healthz across the endpoints and returns the
-// first one reporting the primary role, or "".
+// healthy primary with the highest promotion epoch, or "". Epoch is the
+// tiebreak that makes split-brain sweeps safe: during a partition two
+// servers may both call themselves primary, and only the one holding
+// the latest epoch may receive writes — the other is deposed and will
+// fence as soon as anyone tells it.
 func (f *Failover) probeForPrimary(ctx context.Context) string {
 	f.mu.Lock()
 	f.stats.HealthProbes++
 	f.mu.Unlock()
+	best := ""
+	var bestEpoch uint64
 	for _, base := range f.endpoints {
-		h, err := f.api.Healthz(ctx, base)
-		if err != nil {
+		h, ok := f.cachedHealthz(ctx, base)
+		if !ok {
 			continue
 		}
-		if h.Role != wire.RolePrimary || h.Draining {
+		f.ObserveEpoch(h.Epoch)
+		if h.Role != wire.RolePrimary || h.Draining || h.Fenced {
 			continue
 		}
 		// A primary whose storage is in the sticky failed state sheds
@@ -234,9 +328,11 @@ func (f *Failover) probeForPrimary(ctx context.Context) string {
 		if h.Storage != nil && h.Storage.State == wire.StorageFailed {
 			continue
 		}
-		return base
+		if best == "" || h.Epoch > bestEpoch {
+			best, bestEpoch = base, h.Epoch
+		}
 	}
-	return ""
+	return best
 }
 
 // Probe refreshes the believed primary by sweeping /healthz. Returns

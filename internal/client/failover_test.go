@@ -172,7 +172,9 @@ func TestFailoverWriteFindsPromotedReplica(t *testing.T) {
 	// Primary dies; replica 1 was already promoted. The write sweep
 	// finds the new primary among the candidates.
 	tier.setDown(0, true)
-	tier.servers[1].Promote()
+	if err := tier.servers[1].Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
 
 	_, err := api.Login(context.Background(), "nobody", "nothing")
 	var werr *wire.ErrorResponse

@@ -16,6 +16,17 @@ import (
 // when a pull returns no batches.
 const HeaderPrimarySeq = "X-Primary-Seq"
 
+// HeaderPrimaryEpoch carries the primary's promotion epoch on every
+// replication response. A replica that has followed a higher epoch
+// refuses the stream: the sender is a deposed primary.
+const HeaderPrimaryEpoch = "X-Primary-Epoch"
+
+// HeaderPrimaryDigest carries the primary's history digest at exactly
+// HeaderPrimarySeq (the pair is read atomically). A caught-up replica
+// compares it against its own chain to detect divergence even when no
+// batches flow.
+const HeaderPrimaryDigest = "X-Primary-Digest"
+
 // defaultMaxBatches bounds one /repl/wal response so a freshly resumed
 // replica cannot stall the primary on a single huge reply; the replica
 // just pulls again.
@@ -65,7 +76,7 @@ func (p *Publisher) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	p.note(r.URL.Query().Get("id"), 0, true)
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set(HeaderPrimarySeq, strconv.FormatUint(p.db.Seq(), 10))
+	p.setPositionHeaders(w)
 	// Errors past this point are mid-stream; the connection just breaks
 	// and the replica's CRC check rejects the partial snapshot.
 	_, _ = p.db.WriteSnapshotTo(w)
@@ -96,11 +107,12 @@ func (p *Publisher) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	p.note(q.Get("id"), from, false)
 
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set(HeaderPrimarySeq, strconv.FormatUint(p.db.Seq(), 10))
+	p.setPositionHeaders(w)
+	epoch := p.db.Epoch()
 	wroteAny := false
-	err = p.db.Since(from, max, func(b storedb.Batch) error {
+	err = p.db.SinceWithDigest(from, max, func(b storedb.Batch, prev uint64) error {
 		wroteAny = true
-		return writeFrame(w, storedb.EncodeBatch(b))
+		return writeFrame(w, encodeEnvelope(epoch, prev, storedb.EncodeBatch(b)))
 	})
 	if errors.Is(err, storedb.ErrCompacted) && !wroteAny {
 		writeWireError(w, http.StatusGone, wire.CodeCompacted, "requested batches compacted; bootstrap from snapshot")
@@ -109,6 +121,41 @@ func (p *Publisher) ServeWAL(w http.ResponseWriter, r *http.Request) {
 	// A mid-stream error just truncates the response; the replica's
 	// frame CRC rejects the tail and it re-pulls from its last applied
 	// sequence number.
+}
+
+// ServeDigest answers GET /repl/digest?seq=N with the history digest at
+// sequence N, so a reconnecting replica can binary-search (or walk) for
+// the last position where the two histories agree. Known=false means
+// the position has been compacted away and only a snapshot bootstrap
+// can repair the replica.
+func (p *Publisher) ServeDigest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeWireError(w, http.StatusMethodNotAllowed, wire.CodeBadRequest, "GET required")
+		return
+	}
+	seq, err := strconv.ParseUint(r.URL.Query().Get("seq"), 10, 64)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, wire.CodeBadRequest, "bad seq parameter")
+		return
+	}
+	d, ok := p.db.DigestAt(seq)
+	w.Header().Set("Content-Type", wire.ContentType)
+	_ = wire.Encode(w, &wire.ReplDigestResponse{
+		Seq:    seq,
+		Digest: d,
+		Known:  ok,
+		Epoch:  p.db.Epoch(),
+	})
+}
+
+// setPositionHeaders stamps the primary's (seq, digest) pair — read
+// atomically so they describe the same history point — and its epoch
+// onto a replication response.
+func (p *Publisher) setPositionHeaders(w http.ResponseWriter) {
+	seq, digest := p.db.ChainPosition()
+	w.Header().Set(HeaderPrimarySeq, strconv.FormatUint(seq, 10))
+	w.Header().Set(HeaderPrimaryDigest, strconv.FormatUint(digest, 10))
+	w.Header().Set(HeaderPrimaryEpoch, strconv.FormatUint(p.db.Epoch(), 10))
 }
 
 // Status reports each known replica's progress relative to the

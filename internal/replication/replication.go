@@ -18,6 +18,18 @@
 // corrupted stream is detected at the frame where it happened and the
 // replica simply re-pulls from its last good sequence number — applied
 // state is never poisoned.
+//
+// Each /repl/wal frame payload is an envelope around the batch:
+//
+//	[8 bytes primary epoch][8 bytes digest of history *before* the
+//	batch][batch payload]
+//
+// The digest lets the replica verify, before applying, that the
+// primary's history up to this point is byte-identical to its own — a
+// mismatch means the replica's tail diverged (it holds writes acked by
+// a deposed primary) and must be repaired, not appended to. The epoch
+// lets it refuse batches from a primary older than one it has already
+// followed.
 package replication
 
 import (
@@ -32,11 +44,34 @@ import (
 const (
 	frameHeaderSize = 8       // length + crc
 	maxFrameSize    = 1 << 30 // matches storedb's record bound
+
+	envelopeSize = 16 // epoch + previous-history digest
 )
 
 // ErrBadFrame reports a frame whose CRC or length check failed; the
 // stream cannot be trusted past this point.
 var ErrBadFrame = errors.New("replication: bad frame")
+
+// encodeEnvelope prefixes a batch payload with the primary's epoch and
+// the digest of the history before the batch.
+func encodeEnvelope(epoch, prevDigest uint64, batch []byte) []byte {
+	buf := make([]byte, envelopeSize+len(batch))
+	binary.BigEndian.PutUint64(buf[0:8], epoch)
+	binary.BigEndian.PutUint64(buf[8:16], prevDigest)
+	copy(buf[envelopeSize:], batch)
+	return buf
+}
+
+// decodeEnvelope splits a frame payload back into epoch, previous
+// digest, and batch payload.
+func decodeEnvelope(payload []byte) (epoch, prevDigest uint64, batch []byte, err error) {
+	if len(payload) < envelopeSize {
+		return 0, 0, nil, fmt.Errorf("%w: short envelope", ErrBadFrame)
+	}
+	return binary.BigEndian.Uint64(payload[0:8]),
+		binary.BigEndian.Uint64(payload[8:16]),
+		payload[envelopeSize:], nil
+}
 
 // writeFrame writes one length+CRC framed payload to w.
 func writeFrame(w io.Writer, payload []byte) error {

@@ -24,6 +24,7 @@ func newPrimary(t *testing.T, ringSize int) (*storedb.DB, *httptest.Server, *Pub
 	mux := http.NewServeMux()
 	mux.HandleFunc(wire.PathReplSnapshot, pub.ServeSnapshot)
 	mux.HandleFunc(wire.PathReplWAL, pub.ServeWAL)
+	mux.HandleFunc(wire.PathReplDigest, pub.ServeDigest)
 	srv := httptest.NewServer(mux)
 	t.Cleanup(srv.Close)
 	return db, srv, pub

@@ -1,0 +1,200 @@
+package resilience
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"softreputation/internal/vclock"
+)
+
+// countingServer is an httptest server that counts requests reaching it.
+func countingServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, c *http.Client, url string) error {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err == nil {
+		resp.Body.Close()
+	}
+	return err
+}
+
+func TestPartitionNetCutAndHeal(t *testing.T) {
+	var aHits, bHits atomic.Int64
+	a := countingServer(t, &aHits)
+	b := countingServer(t, &bHits)
+
+	pnet := NewPartitionNet(1, nil)
+	pnet.AddNode("a", a.URL)
+	pnet.AddNode("b", b.URL)
+	client := &http.Client{Transport: pnet.Transport("c", nil)}
+
+	if err := get(t, client, a.URL); err != nil {
+		t.Fatalf("open link: %v", err)
+	}
+
+	pnet.Cut("c", "a")
+	err := get(t, client, a.URL)
+	if err == nil {
+		t.Fatal("request crossed a cut link")
+	}
+	// The failure reads as a dial timeout, like FaultTransport's.
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("cut error = %v, want a timeout net.Error", err)
+	}
+	if aHits.Load() != 1 {
+		t.Fatalf("a saw %d requests, want 1", aHits.Load())
+	}
+	// Other links are untouched.
+	if err := get(t, client, b.URL); err != nil {
+		t.Fatalf("uncut link: %v", err)
+	}
+
+	pnet.Heal("c", "a")
+	if err := get(t, client, a.URL); err != nil {
+		t.Fatalf("healed link: %v", err)
+	}
+	st := pnet.Stats("c", "a")
+	if st.Delivered != 2 || st.DroppedRequests != 1 {
+		t.Fatalf("stats = %+v, want 2 delivered, 1 dropped", st)
+	}
+}
+
+func TestPartitionNetOneWay(t *testing.T) {
+	var aHits, bHits atomic.Int64
+	a := countingServer(t, &aHits)
+	b := countingServer(t, &bHits)
+
+	pnet := NewPartitionNet(1, nil)
+	pnet.AddNode("a", a.URL)
+	pnet.AddNode("b", b.URL)
+	fromA := &http.Client{Transport: pnet.Transport("a", nil)}
+	fromB := &http.Client{Transport: pnet.Transport("b", nil)}
+
+	pnet.CutOneWay("a", "b")
+	if err := get(t, fromA, b.URL); err == nil {
+		t.Fatal("a->b crossed a one-way cut")
+	}
+	if err := get(t, fromB, a.URL); err != nil {
+		t.Fatalf("b->a must stay open: %v", err)
+	}
+	if !pnet.Partitioned("a", "b") || pnet.Partitioned("b", "a") {
+		t.Fatal("Partitioned() disagrees with the installed cut")
+	}
+}
+
+func TestPartitionNetLoseReplies(t *testing.T) {
+	var hits atomic.Int64
+	srv := countingServer(t, &hits)
+
+	pnet := NewPartitionNet(1, nil)
+	pnet.AddNode("s", srv.URL)
+	client := &http.Client{Transport: pnet.Transport("c", nil)}
+
+	pnet.LoseReplies("c", "s")
+	if err := get(t, client, srv.URL); err == nil {
+		t.Fatal("reply crossed a lose-replies link")
+	}
+	// The request DID arrive: its side effects happened.
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (request delivered, reply lost)", hits.Load())
+	}
+	if st := pnet.Stats("c", "s"); st.DroppedReplies != 1 {
+		t.Fatalf("stats = %+v, want 1 dropped reply", st)
+	}
+}
+
+func TestPartitionNetTimedHealOnVirtualClock(t *testing.T) {
+	var hits atomic.Int64
+	srv := countingServer(t, &hits)
+
+	clk := vclock.NewVirtual(vclock.Epoch)
+	pnet := NewPartitionNet(7, clk)
+	pnet.AddNode("s", srv.URL)
+	client := &http.Client{Transport: pnet.Transport("c", nil)}
+
+	pnet.CutFor("c", "s", 10*time.Minute)
+	if err := get(t, client, srv.URL); err == nil {
+		t.Fatal("request crossed inside the cut window")
+	}
+	clk.Advance(9 * time.Minute)
+	if err := get(t, client, srv.URL); err == nil {
+		t.Fatal("request crossed before the heal deadline")
+	}
+	clk.Advance(2 * time.Minute)
+	if err := get(t, client, srv.URL); err != nil {
+		t.Fatalf("timed cut did not heal: %v", err)
+	}
+}
+
+func TestPartitionNetIsolateAndHealAll(t *testing.T) {
+	var aHits, bHits atomic.Int64
+	a := countingServer(t, &aHits)
+	b := countingServer(t, &bHits)
+
+	pnet := NewPartitionNet(1, nil)
+	pnet.AddNode("a", a.URL)
+	pnet.AddNode("b", b.URL)
+	pnet.AddNode("c", "http://c.invalid")
+	fromB := &http.Client{Transport: pnet.Transport("b", nil)}
+
+	pnet.Isolate("a")
+	if err := get(t, fromB, a.URL); err == nil {
+		t.Fatal("b reached an isolated node")
+	}
+	if !pnet.Partitioned("a", "b") || !pnet.Partitioned("a", "c") || pnet.Partitioned("b", "c") {
+		t.Fatal("Isolate cut the wrong links")
+	}
+	pnet.HealAll()
+	if err := get(t, fromB, a.URL); err != nil {
+		t.Fatalf("HealAll did not reopen the link: %v", err)
+	}
+}
+
+func TestPartitionNetConnectCostBurnsVirtualTime(t *testing.T) {
+	srv := countingServer(t, new(atomic.Int64))
+
+	clk := vclock.NewVirtual(vclock.Epoch)
+	pnet := NewPartitionNet(3, clk)
+	pnet.ConnectCost = 2 * time.Second
+	pnet.AddNode("s", srv.URL)
+	client := &http.Client{Transport: pnet.Transport("c", nil)}
+
+	pnet.Cut("c", "s")
+	before := clk.Now()
+	_ = get(t, client, srv.URL)
+	burned := clk.Now().Sub(before)
+	if burned < time.Second || burned > 2*time.Second {
+		t.Fatalf("blackholed send burned %v, want within [1s, 2s]", burned)
+	}
+}
+
+func TestPartitionNetUnknownDestinationPassesThrough(t *testing.T) {
+	var hits atomic.Int64
+	srv := countingServer(t, &hits)
+
+	pnet := NewPartitionNet(1, nil)
+	pnet.AddNode("other", "http://other.invalid")
+	pnet.Isolate("other")
+	client := &http.Client{Transport: pnet.Transport("c", nil)}
+	if err := get(t, client, srv.URL); err != nil {
+		t.Fatalf("unregistered destination must pass through: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatal("request did not reach the unregistered server")
+	}
+}

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"softreputation/internal/repo"
+	"softreputation/internal/wire"
+)
+
+func postVoteRaw(t *testing.T, url string, hdr map[string]string) *http.Response {
+	t.Helper()
+	body := strings.NewReader(`<vote><session>x</session><software><id>deadbeef</id><file-name>a.exe</file-name><file-size>1</file-size></software><score>5</score></vote>`)
+	req, err := http.NewRequest(http.MethodPost, url+wire.PathVote, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestEpochHeaderFencesStalePrimary(t *testing.T) {
+	store := repo.OpenMemory()
+	defer store.Close()
+	srv, err := New(Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A normal request teaches the client the server's epoch.
+	resp, err := http.Get(ts.URL + wire.PathStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(wire.HeaderEpoch); got != "0" {
+		t.Fatalf("response epoch header = %q, want 0", got)
+	}
+	if resp.Header.Get(wire.HeaderAckSeq) == "" {
+		t.Fatal("response missing ack-seq header")
+	}
+
+	// A request carrying proof of a later promotion fences the primary:
+	// the very request that carried it is refused if it is a write.
+	resp = postVoteRaw(t, ts.URL, map[string]string{wire.HeaderEpoch: "3"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write on fenced primary: http %d, want 503", resp.StatusCode)
+	}
+	var werr wire.ErrorResponse
+	if err := wire.Decode(resp.Body, &werr); err != nil {
+		t.Fatal(err)
+	}
+	if werr.Code != wire.CodeFenced {
+		t.Fatalf("write on fenced primary: code %q, want fenced", werr.Code)
+	}
+	if !srv.Fenced() {
+		t.Fatal("server did not fence")
+	}
+
+	// The fence is sticky and visible on /healthz; reads still serve.
+	h, err := http.Get(ts.URL + wire.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Body.Close()
+	var hz wire.HealthzResponse
+	if err := wire.Decode(h.Body, &hz); err != nil {
+		t.Fatal(err)
+	}
+	if !hz.Fenced {
+		t.Fatal("healthz does not report fenced")
+	}
+	r, err := http.Get(ts.URL + wire.PathStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("read on fenced primary: http %d", r.StatusCode)
+	}
+
+	// Demotion back into the replication stream clears the fence.
+	srv.DemoteToReplica("http://new-primary")
+	if srv.Fenced() {
+		t.Fatal("fence survived demotion")
+	}
+	if srv.Role() != wire.RoleReplica {
+		t.Fatalf("role after demotion = %s", srv.Role())
+	}
+}
+
+func TestPromoteBumpsEpochDurably(t *testing.T) {
+	store := repo.OpenMemory()
+	defer store.Close()
+	srv, err := New(Config{Store: store, Replica: true, PrimaryURL: "http://old"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Epoch() != 0 {
+		t.Fatalf("epoch = %d, want 0", srv.Epoch())
+	}
+	if err := srv.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Epoch() != 1 {
+		t.Fatalf("epoch after promote = %d, want 1", srv.Epoch())
+	}
+	if srv.IsReplica() {
+		t.Fatal("still a replica after promote")
+	}
+
+	// Write acks carry the new epoch.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + wire.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if e, _ := strconv.ParseUint(resp.Header.Get(wire.HeaderEpoch), 10, 64); e != 1 {
+		t.Fatalf("post-promotion epoch header = %s, want 1", resp.Header.Get(wire.HeaderEpoch))
+	}
+
+	// An observation of our own (or a lower) epoch does not fence.
+	srv.ObserveEpoch(1)
+	if srv.Fenced() {
+		t.Fatal("fenced by own epoch")
+	}
+	srv.ObserveEpoch(2)
+	if !srv.Fenced() {
+		t.Fatal("not fenced by higher epoch")
+	}
+}
+
+func TestReplicaIgnoresEpochObservations(t *testing.T) {
+	store := repo.OpenMemory()
+	defer store.Close()
+	srv, err := New(Config{Store: store, Replica: true, PrimaryURL: "http://p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.ObserveEpoch(9)
+	if srv.Fenced() {
+		t.Fatal("replica fenced itself; replicas already refuse writes")
+	}
+}

@@ -35,6 +35,7 @@ func (s *Server) Handler() http.Handler {
 	if pub := s.cfg.Publisher; pub != nil {
 		mux.HandleFunc(wire.PathReplSnapshot, pub.ServeSnapshot)
 		mux.HandleFunc(wire.PathReplWAL, pub.ServeWAL)
+		mux.HandleFunc(wire.PathReplDigest, pub.ServeDigest)
 	}
 	s.registerWeb(mux)
 	return s.harden(mux)
@@ -84,6 +85,10 @@ func writeError(w http.ResponseWriter, err error) {
 		// writes durable until an operator (or the supervisor loop)
 		// reopens it. 503 tells the client to fail over, not retry here.
 		code, status = wire.CodeUnavailable, http.StatusServiceUnavailable
+	case errors.Is(err, storedb.ErrFenced):
+		// A write raced past the shed gate as the fence dropped: same
+		// answer the gate gives, fail over to the new primary.
+		code, status = wire.CodeFenced, http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", wire.ContentType)
 	w.WriteHeader(status)

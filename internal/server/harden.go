@@ -191,6 +191,14 @@ func (s *Server) shedMiddleware(next http.Handler) http.Handler {
 				return
 			}
 		}
+		if s.Fenced() && !bypassAdmission(r.URL.Path) && classifyRequest(r) == admission.Write {
+			// A higher epoch exists somewhere: accepting this write
+			// would fork history. Reads keep flowing — the data is
+			// still the newest this node has.
+			atomic.AddInt64(&s.shed, 1)
+			writeFenced(w, retryAfter, s.Epoch())
+			return
+		}
 		n := atomic.AddInt64(&s.inflight, 1)
 		defer atomic.AddInt64(&s.inflight, -1)
 		if s.admit != nil {
@@ -252,9 +260,10 @@ func (s *Server) delayMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// harden wraps the raw mux in the shed and timeout layers. The shed
-// gate sits outside so a drained or overloaded server answers without
-// burning a handler slot.
+// harden wraps the raw mux in the epoch, shed, and timeout layers. The
+// epoch layer sits outermost so even shed requests fence a stale
+// primary; the shed gate next, so a drained or overloaded server
+// answers without burning a handler slot.
 func (s *Server) harden(next http.Handler) http.Handler {
-	return s.shedMiddleware(s.timeoutMiddleware(s.delayMiddleware(next)))
+	return s.epochMiddleware(s.shedMiddleware(s.timeoutMiddleware(s.delayMiddleware(next))))
 }

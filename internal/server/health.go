@@ -26,11 +26,12 @@ type ReplicaTracker interface {
 }
 
 // ReplicationHandlers is implemented by the replication publisher; the
-// server mounts these on /repl/snapshot and /repl/wal when configured
-// as a primary.
+// server mounts these on /repl/snapshot, /repl/wal, and /repl/digest
+// when configured as a primary.
 type ReplicationHandlers interface {
 	ServeSnapshot(w http.ResponseWriter, r *http.Request)
 	ServeWAL(w http.ResponseWriter, r *http.Request)
+	ServeDigest(w http.ResponseWriter, r *http.Request)
 }
 
 // EnableReplication mounts the WAL-shipping publisher endpoints and
@@ -63,13 +64,35 @@ func (s *Server) PrimaryURL() string {
 	return ""
 }
 
-// Promote turns a replica into the primary: local writes open up and
-// write requests are accepted. The caller is responsible for making
-// sure the old primary is really gone — two primaries fork history.
-func (s *Server) Promote() {
+// Promote turns a replica into the primary. The promotion epoch is
+// bumped durably — fsynced into the local WAL — *before* the write path
+// opens: every write this primary ever acknowledges carries the new
+// epoch, and the bump itself replicates as an ordinary batch, so any
+// node that hears from this primary (or from a client that did) learns
+// the old primary is deposed. If the bump cannot be made durable the
+// promotion fails and the node stays a replica — a primary whose claim
+// to the epoch could vanish in a crash is worse than no primary.
+func (s *Server) Promote() error {
+	if _, err := s.store.DB().BumpEpoch(); err != nil {
+		return err
+	}
 	s.isReplica.Store(false)
 	s.primaryURL.Store("")
 	s.store.DB().SetReplicaMode(false)
+	return nil
+}
+
+// DemoteToReplica turns this server (typically a fenced ex-primary
+// rejoining after a partition) back into a replica of the given
+// primary: writes redirect, the store goes back to replica mode, and
+// the fence clears — the replication puller now polices epochs, and it
+// will quarantine any history the old primary acked that the new epoch
+// never saw.
+func (s *Server) DemoteToReplica(primaryURL string) {
+	s.isReplica.Store(true)
+	s.primaryURL.Store(primaryURL)
+	s.store.DB().SetReplicaMode(true)
+	s.store.DB().Unfence()
 }
 
 // rejectWriteOnReplica answers the wire redirect document (HTTP 421)
@@ -85,6 +108,7 @@ func (s *Server) rejectWriteOnReplica(w http.ResponseWriter) bool {
 	_ = wire.Encode(w, &wire.ErrorResponse{
 		Code:    wire.CodeRedirect,
 		Primary: s.PrimaryURL(),
+		Epoch:   s.Epoch(),
 		Message: "replica does not accept writes; use the primary",
 	})
 	return true
@@ -136,6 +160,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Role:     s.Role(),
 		Primary:  s.PrimaryURL(),
 		Seq:      s.store.Seq(),
+		Epoch:    s.Epoch(),
+		Fenced:   s.Fenced(),
 		Lag:      s.replLag(),
 		Draining: s.Draining(),
 		Inflight: atomic.LoadInt64(&s.inflight),
@@ -165,9 +191,13 @@ func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	seq, digest := s.store.DB().ChainPosition()
 	resp := &wire.ReplStatusResponse{
 		Role:    s.Role(),
-		Seq:     s.store.Seq(),
+		Seq:     seq,
+		Epoch:   s.Epoch(),
+		Digest:  digest,
+		Fenced:  s.Fenced(),
 		SnapSeq: s.store.DB().SnapSeq(),
 		Storage: s.storageInfo().State,
 	}

@@ -121,7 +121,9 @@ func TestReplicaRedirectsWritesAndPromotes(t *testing.T) {
 	}
 
 	// Promotion flips the role and opens writes.
-	srv.Promote()
+	if err := srv.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
 	if srv.Role() != wire.RolePrimary {
 		t.Fatalf("role after promote = %s", srv.Role())
 	}

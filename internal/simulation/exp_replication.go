@@ -307,7 +307,9 @@ func RunReplication(cfg ReplicationConfig) (ReplicationResult, error) {
 		return res, err
 	}
 	tp.primaryTS.Close()
-	tp.replSrvs[0].Promote()
+	if err := tp.replSrvs[0].Promote(); err != nil {
+		return res, fmt.Errorf("promote replica 0: %w", err)
+	}
 
 	promo := ReplicationPhase{Name: "primary killed, replica promoted"}
 	promo.VotesAcked = tp.votePhase(cfg.VotesPerPhase, failover)

@@ -95,6 +95,11 @@ type DB struct {
 	seq     atomic.Uint64 // last durable batch sequence
 	snapSeq atomic.Uint64 // sequence covered by the newest snapshot
 
+	epoch       atomic.Uint64 // promotion epoch contained in committed history
+	fenced      atomic.Bool   // sticky: a higher epoch was observed; writes refused
+	chainDigest atomic.Uint64 // history digest at chainSeq
+	snapDigest  atomic.Uint64 // history digest anchored at snapSeq
+
 	replicaMode atomic.Bool // writes refused; changes arrive via ApplyBatch
 
 	failed  atomic.Bool // sticky storage failure; writes refused until Reopen
@@ -109,9 +114,10 @@ type DB struct {
 	walFsyncs  atomic.Uint64 // WAL fsyncs issued
 	reopens    atomic.Uint64 // successful Reopen recoveries
 
-	replMu  sync.Mutex // guards recent and commitC
-	recent  *batchRing // tail of committed batches for replication
-	commitC chan struct{}
+	replMu   sync.Mutex // guards recent, commitC, chainSeq
+	recent   *batchRing // tail of committed batches for replication
+	commitC  chan struct{}
+	chainSeq uint64 // sequence the chain digest is at (== seq once commits settle)
 
 	applyMu   sync.Mutex // guards applyHook
 	applyHook func(Batch)
@@ -153,13 +159,15 @@ func Open(opts Options) (*DB, error) {
 		if err := os.MkdirAll(opts.Dir, 0o700); err != nil {
 			return nil, fmt.Errorf("storedb: create dir: %w", err)
 		}
-		snap, snapSeq, err := loadSnapshot(opts.Dir)
+		snap, snapSeq, snapDigest, err := loadSnapshot(opts.Dir)
 		if err != nil {
 			return nil, err
 		}
 		t = snap
 		db.seq.Store(snapSeq)
 		db.snapSeq.Store(snapSeq)
+		db.snapDigest.Store(snapDigest)
+		digest := snapDigest
 		lastSeq, err := replayWal(db.walPath(), func(b walBatch) error {
 			if b.seq <= snapSeq {
 				return nil // already contained in the snapshot
@@ -173,8 +181,9 @@ func Open(opts Options) (*DB, error) {
 				}
 			}
 			if db.recent != nil {
-				db.recent.push(exportBatch(b))
+				db.recent.push(exportBatch(b), digest)
 			}
+			digest = chainStep(digest, b.encode())
 			return nil
 		})
 		if err != nil {
@@ -183,16 +192,21 @@ func Open(opts Options) (*DB, error) {
 		if lastSeq > db.seq.Load() {
 			db.seq.Store(lastSeq)
 		}
+		db.chainDigest.Store(digest)
+	}
+
+	db.current.Store(&t)
+	db.staged = t
+	db.stageSeq = db.seq.Load()
+	db.chainSeq = db.seq.Load()
+	db.epoch.Store(epochFromTree(t))
+	if opts.Dir != "" {
 		w, err := openWalWriter(db.walPath(), opts.SyncWrites)
 		if err != nil {
 			return nil, err
 		}
 		db.wal = w
 	}
-
-	db.current.Store(&t)
-	db.staged = t
-	db.stageSeq = db.seq.Load()
 	return db, nil
 }
 
@@ -253,6 +267,9 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 	if db.replicaMode.Load() {
 		return ErrReplica
 	}
+	if db.fenced.Load() {
+		return ErrFenced
+	}
 	if db.failed.Load() {
 		return db.failedErr()
 	}
@@ -268,6 +285,10 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 	if db.replicaMode.Load() {
 		db.writeMu.Unlock()
 		return ErrReplica
+	}
+	if db.fenced.Load() {
+		db.writeMu.Unlock()
+		return ErrFenced
 	}
 	if db.failed.Load() {
 		db.writeMu.Unlock()
@@ -335,6 +356,10 @@ func (db *DB) updateSerialized(fn func(tx *Tx) error) error {
 	if db.replicaMode.Load() {
 		db.writeMu.Unlock()
 		return ErrReplica
+	}
+	if db.fenced.Load() {
+		db.writeMu.Unlock()
+		return ErrFenced
 	}
 	if db.failed.Load() {
 		db.writeMu.Unlock()
@@ -531,15 +556,17 @@ func (db *DB) Reopen() error {
 	if db.opts.Dir == "" {
 		// In-memory store: there is no log to repair. Resume from the
 		// last published root.
-		db.recoverLocked(*db.current.Load(), durable, db.snapSeq.Load(), 0)
+		db.recoverLocked(*db.current.Load(), durable, db.snapSeq.Load(), 0,
+			db.chainDigest.Load(), db.snapDigest.Load())
 		return nil
 	}
 
-	snap, snapSeq, err := loadSnapshot(db.opts.Dir)
+	snap, snapSeq, snapDigest, err := loadSnapshot(db.opts.Dir)
 	if err != nil {
 		return fmt.Errorf("storedb: reopen: %w", err)
 	}
 	t := snap
+	digest := snapDigest
 	last := snapSeq
 	var keep int64
 	replayed := 0
@@ -556,6 +583,7 @@ func (db *DB) Reopen() error {
 					t, _ = t.Delete(op.key)
 				}
 			}
+			digest = chainStep(digest, b.encode())
 			replayed++
 		}
 		if b.seq > last {
@@ -599,19 +627,31 @@ func (db *DB) Reopen() error {
 		return fmt.Errorf("storedb: reopen sync dir: %w", err)
 	}
 	db.wal = w
-	db.recoverLocked(t, durable, snapSeq, replayed)
+	db.recoverLocked(t, durable, snapSeq, replayed, digest, snapDigest)
 	return nil
 }
 
 // recoverLocked installs the verified durable state and clears the
-// failed flag. Caller holds commitMu and writeMu.
-func (db *DB) recoverLocked(t tree, seq, snapSeq uint64, pending int) {
+// failed flag. The tail ring is trimmed to the recovered sequence —
+// batches past it were never acknowledged and must not be served to
+// replicas — and the epoch is re-read from the recovered tree. Caller
+// holds commitMu and writeMu.
+func (db *DB) recoverLocked(t tree, seq, snapSeq uint64, pending int, digest, snapDigest uint64) {
 	db.current.Store(&t)
 	db.staged = t
 	db.stageSeq = seq
 	db.seq.Store(seq)
 	db.snapSeq.Store(snapSeq)
+	db.snapDigest.Store(snapDigest)
+	db.epoch.Store(epochFromTree(t))
 	db.pending = pending
+	db.replMu.Lock()
+	if db.recent != nil {
+		db.recent.truncateTo(seq)
+	}
+	db.chainSeq = seq
+	db.chainDigest.Store(digest)
+	db.replMu.Unlock()
 	db.failMu.Lock()
 	db.failure = nil
 	db.failMu.Unlock()
@@ -643,7 +683,10 @@ func (db *DB) compactLocked() error {
 		return nil // in-memory store: nothing to compact
 	}
 	seq := db.seq.Load()
-	if err := writeSnapshot(db.opts.Dir, *db.current.Load(), seq); err != nil {
+	// Under commitMu the chain digest is settled at seq, so the pair is
+	// consistent; it anchors the chain for post-compaction digest lookups.
+	digest := db.chainDigest.Load()
+	if err := writeSnapshot(db.opts.Dir, *db.current.Load(), seq, digest); err != nil {
 		return err
 	}
 	// The snapshot now covers every committed batch; start a fresh log.
@@ -651,6 +694,7 @@ func (db *DB) compactLocked() error {
 		return err
 	}
 	db.snapSeq.Store(seq)
+	db.snapDigest.Store(digest)
 	return nil
 }
 

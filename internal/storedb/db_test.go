@@ -506,7 +506,7 @@ func TestWalReplaySkipsStaleSeq(t *testing.T) {
 	var snap tree
 	snap = snap.Put([]byte{1}, []byte("v"))
 	snap = snap.Put([]byte{2}, []byte("v"))
-	if err := writeSnapshot(dir, snap, 2); err != nil {
+	if err := writeSnapshot(dir, snap, 2, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -530,7 +530,7 @@ func TestSnapshotHeaderValidation(t *testing.T) {
 	if err := os.WriteFile(path, []byte("NOTMAGIC plus enough bytes here"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := loadSnapshot(dir); !errors.Is(err, ErrCorrupt) {
+	if _, _, _, err := loadSnapshot(dir); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("bad magic err = %v", err)
 	}
 	// Bad version (fix the CRC so only the version check fires).
@@ -545,7 +545,7 @@ func TestSnapshotHeaderValidation(t *testing.T) {
 	if err := os.WriteFile(path, file, 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := loadSnapshot(dir); !errors.Is(err, ErrCorrupt) {
+	if _, _, _, err := loadSnapshot(dir); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("bad version err = %v", err)
 	}
 }

@@ -1,0 +1,131 @@
+package storedb
+
+import (
+	"encoding/binary"
+)
+
+// Promotion epochs. Every database carries a monotonic epoch number —
+// the count of primary promotions in its history — persisted as an
+// ordinary key inside the replicated keyspace, so it rides the WAL, the
+// snapshot, and the replication stream with no side channel: a replica
+// that catches up has, by construction, learned the epoch under which
+// its history was written.
+//
+// BumpEpoch is the promotion barrier: it durably commits epoch+1
+// (fsyncing even on stores opened without SyncWrites) before the caller
+// may open the node for writes. A node that observes a higher epoch
+// than its own — from a replication peer or from a client header — is
+// stale: Fence moves it into a sticky read-only state analogous to
+// ErrStorageFailed, closing the split-brain window in which an isolated
+// old primary keeps acking writes that can never win.
+
+// EpochBucket is the reserved bucket holding store-level metadata such
+// as the promotion epoch. The leading '!' keeps it out of the
+// single-letter namespace the application schema uses; application code
+// must not write to it.
+const EpochBucket = "!meta"
+
+// epochKeySuffix is the key under EpochBucket holding the big-endian
+// epoch value.
+const epochKeySuffix = "epoch"
+
+// epochKey returns the full tree key (bucket prefix included) of the
+// epoch record.
+func epochKey() []byte {
+	k := make([]byte, 0, len(EpochBucket)+1+len(epochKeySuffix))
+	k = append(k, EpochBucket...)
+	k = append(k, 0)
+	return append(k, epochKeySuffix...)
+}
+
+// epochFromTree reads the persisted epoch out of a tree; a missing or
+// malformed record is epoch 0 (never promoted).
+func epochFromTree(t tree) uint64 {
+	v, ok := t.Get(epochKey())
+	if !ok || len(v) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}
+
+// Epoch returns the database's promotion epoch: the highest epoch bump
+// contained in its committed history.
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }
+
+// Fenced reports whether the database is in the sticky fenced
+// (read-only) state — a single atomic load, cheap enough for a
+// per-request gate.
+func (db *DB) Fenced() bool { return db.fenced.Load() }
+
+// Fence moves the database into the sticky fenced state: every Update
+// returns ErrFenced until BumpEpoch or Unfence. Reads, ApplyBatch, and
+// snapshot restore are unaffected — a fenced node can still serve
+// lookups and rejoin as a replica.
+func (db *DB) Fence() { db.fenced.Store(true) }
+
+// Unfence clears the fenced state without changing the epoch. The
+// demotion path uses it once the node has been put back into replica
+// mode, where ErrReplica gates writes instead.
+func (db *DB) Unfence() { db.fenced.Store(false) }
+
+// BumpEpoch durably commits epoch+1 and returns the new value. It is
+// the first step of promotion and deliberately works in replica mode
+// (the node is still a replica while the bump commits) and in the
+// fenced state (taking over at a yet-higher epoch is exactly how a
+// fenced node becomes authoritative again — the bump unfences). The
+// commit is fsynced even when the store was opened without SyncWrites:
+// a promotion that could be lost to a crash would let the node restart
+// at its old epoch and accept conflicting history.
+func (db *DB) BumpEpoch() (uint64, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	if db.failed.Load() {
+		return 0, db.failedErr()
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.drainOpenGroupLocked()
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	if db.failed.Load() {
+		return 0, db.failedErr()
+	}
+
+	next := db.epoch.Load() + 1
+	var val [8]byte
+	binary.BigEndian.PutUint64(val[:], next)
+	seq := db.seq.Load() + 1
+	wb := walBatch{seq: seq, ops: []walOp{{op: opPut, key: epochKey(), val: val[:]}}}
+
+	if db.wal != nil {
+		if err := db.wal.appendGroup([]walBatch{wb}); err != nil {
+			db.fail(err)
+			return 0, db.failedErr()
+		}
+		if !db.opts.SyncWrites {
+			if err := db.wal.syncNow(); err != nil {
+				db.fail(err)
+				return 0, db.failedErr()
+			}
+		}
+		db.walFsyncs.Add(1)
+	}
+	db.walGroups.Add(1)
+	db.walBatches.Add(1)
+
+	t := db.current.Load().Put(epochKey(), val[:])
+	db.writeMu.Lock()
+	db.current.Store(&t)
+	db.seq.Store(seq)
+	db.staged = t
+	db.stageSeq = seq
+	db.writeMu.Unlock()
+	db.epoch.Store(next)
+	db.fenced.Store(false)
+	db.noteCommit(wb)
+	db.fireApplyHook(exportBatch(wb))
+	db.pending++
+	return next, nil
+}

@@ -41,6 +41,14 @@ var (
 	// local writes are refused rather than silently forking the replica.
 	ErrReplica = errors.New("storedb: database is in replica mode (read-only)")
 
+	// ErrFenced is returned by Update while the database is fenced: a
+	// higher promotion epoch has been observed somewhere in the cluster,
+	// so this node's primary role is stale and acking further writes
+	// would fork history. The state is sticky, like ErrStorageFailed;
+	// reads keep serving. BumpEpoch (taking over at a yet-higher epoch)
+	// or Unfence (operator action after demotion) clear it.
+	ErrFenced = errors.New("storedb: fenced by a higher promotion epoch (read-only)")
+
 	// ErrStorageFailed is returned by write operations after a WAL
 	// append, fsync, truncate, or compaction error has moved the
 	// database into its sticky failed state. The state of the log is no

@@ -1,6 +1,8 @@
 package storedb
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 )
@@ -74,30 +76,38 @@ func DecodeBatch(payload []byte) (Batch, error) {
 
 // batchRing is a fixed-capacity ring of the most recent committed
 // batches, kept so replicas can tail an in-memory database (and skip
-// disk reads on a durable one). Guarded by DB.replMu.
+// disk reads on a durable one). Each entry carries the history digest
+// at the batch's predecessor, so replication frames can be served with
+// their chain proof without re-deriving it. Guarded by DB.replMu.
 type batchRing struct {
-	buf   []Batch
+	buf   []ringEntry
 	start int // index of the oldest entry
 	n     int
+}
+
+type ringEntry struct {
+	b    Batch
+	prev uint64 // chain digest at b.Seq-1
 }
 
 func newBatchRing(capacity int) *batchRing {
 	if capacity <= 0 {
 		return &batchRing{}
 	}
-	return &batchRing{buf: make([]Batch, capacity)}
+	return &batchRing{buf: make([]ringEntry, capacity)}
 }
 
-func (r *batchRing) push(b Batch) {
+func (r *batchRing) push(b Batch, prev uint64) {
 	if len(r.buf) == 0 {
 		return
 	}
+	e := ringEntry{b: b, prev: prev}
 	if r.n < len(r.buf) {
-		r.buf[(r.start+r.n)%len(r.buf)] = b
+		r.buf[(r.start+r.n)%len(r.buf)] = e
 		r.n++
 		return
 	}
-	r.buf[r.start] = b
+	r.buf[r.start] = e
 	r.start = (r.start + 1) % len(r.buf)
 }
 
@@ -106,7 +116,35 @@ func (r *batchRing) oldestSeq() (uint64, bool) {
 	if r.n == 0 {
 		return 0, false
 	}
-	return r.buf[r.start].Seq, true
+	return r.buf[r.start].b.Seq, true
+}
+
+// digestAt returns the chain digest at the given sequence, derivable
+// from the ring as the predecessor digest of the entry at seq+1.
+func (r *batchRing) digestAt(seq uint64) (uint64, bool) {
+	for i := r.n - 1; i >= 0; i-- {
+		e := r.buf[(r.start+i)%len(r.buf)]
+		if e.b.Seq == seq+1 {
+			return e.prev, true
+		}
+		if e.b.Seq <= seq {
+			break
+		}
+	}
+	return 0, false
+}
+
+// truncateTo drops retained batches with Seq > seq, after a tail
+// truncation or recovery rewound the database below the ring's head.
+func (r *batchRing) truncateTo(seq uint64) {
+	for r.n > 0 {
+		idx := (r.start + r.n - 1) % len(r.buf)
+		if r.buf[idx].b.Seq <= seq {
+			return
+		}
+		r.buf[idx] = ringEntry{}
+		r.n--
+	}
 }
 
 // since calls fn for every retained batch with Seq > from, in order,
@@ -114,20 +152,25 @@ func (r *batchRing) oldestSeq() (uint64, bool) {
 // still covers position from+1; callers only invoke it when batches
 // newer than from exist, so an empty ring always reports false.
 func (r *batchRing) since(from uint64, max int, fn func(Batch) error) (ok bool, err error) {
+	return r.sinceWithPrev(from, max, func(b Batch, _ uint64) error { return fn(b) })
+}
+
+// sinceWithPrev is since with each batch's predecessor digest.
+func (r *batchRing) sinceWithPrev(from uint64, max int, fn func(Batch, uint64) error) (ok bool, err error) {
 	oldest, any := r.oldestSeq()
 	if !any || from+1 < oldest {
 		return false, nil
 	}
 	sent := 0
 	for i := 0; i < r.n; i++ {
-		b := r.buf[(r.start+i)%len(r.buf)]
-		if b.Seq <= from {
+		e := r.buf[(r.start+i)%len(r.buf)]
+		if e.b.Seq <= from {
 			continue
 		}
 		if max > 0 && sent >= max {
 			break
 		}
-		if err := fn(b); err != nil {
+		if err := fn(e.b, e.prev); err != nil {
 			return true, err
 		}
 		sent++
@@ -163,13 +206,17 @@ func (db *DB) CommitSignal() <-chan struct{} {
 	return db.commitC
 }
 
-// noteCommit records a committed batch in the tail ring and wakes
-// CommitSignal waiters. Called with commitMu held.
+// noteCommit records a committed batch in the tail ring, extends the
+// history digest chain, and wakes CommitSignal waiters. Called with
+// commitMu held, in commit order — the one place the chain advances.
 func (db *DB) noteCommit(b walBatch) {
 	db.replMu.Lock()
+	prev := db.chainDigest.Load()
 	if db.recent != nil {
-		db.recent.push(exportBatch(b))
+		db.recent.push(exportBatch(b), prev)
 	}
+	db.chainDigest.Store(chainStep(prev, b.encode()))
+	db.chainSeq = b.seq
 	if db.commitC != nil {
 		close(db.commitC)
 		db.commitC = nil
@@ -308,6 +355,15 @@ func (db *DB) ApplyBatch(b Batch) error {
 	db.staged = t
 	db.stageSeq = b.Seq
 	db.writeMu.Unlock()
+	// A replicated epoch bump teaches this replica the cluster's
+	// promotion epoch — the only way an epoch ever changes under it.
+	for _, op := range wb.ops {
+		if op.op == opPut && len(op.val) == 8 && bytes.Equal(op.key, epochKey()) {
+			if e := binary.BigEndian.Uint64(op.val); e > db.epoch.Load() {
+				db.epoch.Store(e)
+			}
+		}
+	}
 	db.noteCommit(wb)
 	db.fireApplyHook(b)
 
@@ -335,8 +391,9 @@ func (db *DB) WriteSnapshotTo(w io.Writer) (uint64, error) {
 	db.commitMu.Lock()
 	t := *db.current.Load()
 	seq := db.seq.Load()
+	digest := db.chainDigest.Load()
 	db.commitMu.Unlock()
-	if err := encodeSnapshot(w, t, seq); err != nil {
+	if err := encodeSnapshot(w, t, seq, digest); err != nil {
 		return seq, err
 	}
 	return seq, nil
@@ -351,7 +408,7 @@ func (db *DB) RestoreSnapshotFrom(r io.Reader) (uint64, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
 	}
-	t, seq, err := decodeSnapshot(r)
+	t, seq, digest, err := decodeSnapshot(r)
 	if err != nil {
 		return 0, err
 	}
@@ -366,7 +423,7 @@ func (db *DB) RestoreSnapshotFrom(r io.Reader) (uint64, error) {
 		return 0, db.failedErr()
 	}
 	if db.opts.Dir != "" {
-		if err := writeSnapshot(db.opts.Dir, t, seq); err != nil {
+		if err := writeSnapshot(db.opts.Dir, t, seq, digest); err != nil {
 			db.fail(err)
 			return 0, db.failedErr()
 		}
@@ -382,14 +439,19 @@ func (db *DB) RestoreSnapshotFrom(r io.Reader) (uint64, error) {
 	db.stageSeq = seq
 	db.writeMu.Unlock()
 	db.snapSeq.Store(seq)
+	db.snapDigest.Store(digest)
+	db.epoch.Store(epochFromTree(t))
 	db.pending = 0
 
 	// The tail ring describes the pre-restore history; drop it and wake
 	// any waiters so cascading replicas re-sync from the new position.
+	// The digest chain restarts from the stream's anchor.
 	db.replMu.Lock()
 	if db.recent != nil {
 		db.recent = newBatchRing(len(db.recent.buf))
 	}
+	db.chainSeq = seq
+	db.chainDigest.Store(digest)
 	if db.commitC != nil {
 		close(db.commitC)
 		db.commitC = nil

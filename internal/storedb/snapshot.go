@@ -11,12 +11,16 @@ import (
 )
 
 // Snapshot files hold a full, sorted dump of the tree so that the WAL can
-// be truncated during compaction. Layout:
+// be truncated during compaction. Layout (version 2):
 //
 //	[8 bytes magic "SREPSNAP"][4 bytes version][8 bytes sequence number]
-//	[8 bytes entry count]
+//	[8 bytes history digest at that sequence][8 bytes entry count]
 //	entries: [uvarint key len][key][uvarint value len][value] ...
 //	[4 bytes CRC-32 of everything between magic and trailer]
+//
+// Version 1 files lack the digest field; they decode with a zero digest
+// anchor, which re-roots the chain — correct for a store that has never
+// replicated, and a one-time full resync for one that has.
 //
 // A snapshot is written to a temporary file, synced, and renamed into
 // place, then the directory is synced so the rename itself survives a
@@ -30,7 +34,10 @@ import (
 
 var snapshotMagic = [8]byte{'S', 'R', 'E', 'P', 'S', 'N', 'A', 'P'}
 
-const snapshotVersion = 1
+const (
+	snapshotV1      = 1
+	snapshotVersion = 2
+)
 
 type crcWriter struct {
 	w   io.Writer
@@ -44,16 +51,17 @@ func (c *crcWriter) Write(p []byte) (int, error) {
 }
 
 // encodeSnapshot writes the full snapshot layout (magic through CRC
-// trailer) for the given tree and sequence number to w.
-func encodeSnapshot(w io.Writer, t tree, seq uint64) error {
+// trailer) for the given tree, sequence number, and history digest to w.
+func encodeSnapshot(w io.Writer, t tree, seq, digest uint64) error {
 	if _, err := w.Write(snapshotMagic[:]); err != nil {
 		return err
 	}
 	cw := &crcWriter{w: w}
-	var hdr [20]byte
+	var hdr [28]byte
 	binary.BigEndian.PutUint32(hdr[0:4], snapshotVersion)
 	binary.BigEndian.PutUint64(hdr[4:12], seq)
-	binary.BigEndian.PutUint64(hdr[12:20], uint64(t.Len()))
+	binary.BigEndian.PutUint64(hdr[12:20], digest)
+	binary.BigEndian.PutUint64(hdr[20:28], uint64(t.Len()))
 	if _, err := cw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -85,7 +93,7 @@ func encodeSnapshot(w io.Writer, t tree, seq uint64) error {
 	return nil
 }
 
-func writeSnapshot(dir string, t tree, seq uint64) (err error) {
+func writeSnapshot(dir string, t tree, seq, digest uint64) (err error) {
 	tmp := filepath.Join(dir, "SNAPSHOT.tmp")
 	final := filepath.Join(dir, "SNAPSHOT")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
@@ -100,7 +108,7 @@ func writeSnapshot(dir string, t tree, seq uint64) (err error) {
 	}()
 
 	bw := bufio.NewWriterSize(f, 1<<16)
-	if err = encodeSnapshot(bw, t, seq); err != nil {
+	if err = encodeSnapshot(bw, t, seq, digest); err != nil {
 		return err
 	}
 	if err = bw.Flush(); err != nil {
@@ -169,60 +177,76 @@ func (c *crcByteReader) lenPrefixed() ([]byte, error) {
 // trailer CRC over everything it consumed. It is the read side of
 // encodeSnapshot; callers that cannot two-pass (a network stream) rely
 // on the inline check and must discard the result on error.
-func decodeSnapshot(r io.Reader) (tree, uint64, error) {
+func decodeSnapshot(r io.Reader) (tree, uint64, uint64, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != snapshotMagic {
-		return tree{}, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+		return tree{}, 0, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
 	cr := &crcByteReader{br: br}
-	var hdr [20]byte
-	if err := cr.full(hdr[:]); err != nil {
-		return tree{}, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
+	var verBuf [4]byte
+	if err := cr.full(verBuf[:]); err != nil {
+		return tree{}, 0, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
 	}
-	if v := binary.BigEndian.Uint32(hdr[0:4]); v != snapshotVersion {
-		return tree{}, 0, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
+	var seq, digest, count uint64
+	switch v := binary.BigEndian.Uint32(verBuf[:]); v {
+	case snapshotV1:
+		var hdr [16]byte
+		if err := cr.full(hdr[:]); err != nil {
+			return tree{}, 0, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
+		}
+		seq = binary.BigEndian.Uint64(hdr[0:8])
+		count = binary.BigEndian.Uint64(hdr[8:16])
+	case snapshotVersion:
+		var hdr [24]byte
+		if err := cr.full(hdr[:]); err != nil {
+			return tree{}, 0, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
+		}
+		seq = binary.BigEndian.Uint64(hdr[0:8])
+		digest = binary.BigEndian.Uint64(hdr[8:16])
+		count = binary.BigEndian.Uint64(hdr[16:24])
+	default:
+		return tree{}, 0, 0, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
 	}
-	seq := binary.BigEndian.Uint64(hdr[4:12])
-	count := binary.BigEndian.Uint64(hdr[12:20])
 
 	var t tree
 	for i := uint64(0); i < count; i++ {
 		key, err := cr.lenPrefixed()
 		if err != nil {
-			return tree{}, 0, fmt.Errorf("%w: snapshot entry %d key: %v", ErrCorrupt, i, err)
+			return tree{}, 0, 0, fmt.Errorf("%w: snapshot entry %d key: %v", ErrCorrupt, i, err)
 		}
 		val, err := cr.lenPrefixed()
 		if err != nil {
-			return tree{}, 0, fmt.Errorf("%w: snapshot entry %d value: %v", ErrCorrupt, i, err)
+			return tree{}, 0, 0, fmt.Errorf("%w: snapshot entry %d value: %v", ErrCorrupt, i, err)
 		}
 		t = t.Put(key, val)
 	}
 	var trailer [4]byte
 	if _, err := io.ReadFull(br, trailer[:]); err != nil {
-		return tree{}, 0, fmt.Errorf("%w: snapshot trailer: %v", ErrCorrupt, err)
+		return tree{}, 0, 0, fmt.Errorf("%w: snapshot trailer: %v", ErrCorrupt, err)
 	}
 	if binary.BigEndian.Uint32(trailer[:]) != cr.crc {
-		return tree{}, 0, fmt.Errorf("%w: snapshot crc mismatch", ErrCorrupt)
+		return tree{}, 0, 0, fmt.Errorf("%w: snapshot crc mismatch", ErrCorrupt)
 	}
-	return t, seq, nil
+	return t, seq, digest, nil
 }
 
 // loadSnapshot reads the snapshot in dir, if present. The file's CRC is
-// verified before any entry is trusted. It returns the restored tree and
-// its sequence number; a missing snapshot yields an empty tree and seq 0.
-func loadSnapshot(dir string) (tree, uint64, error) {
+// verified before any entry is trusted. It returns the restored tree,
+// its sequence number, and its history digest anchor; a missing
+// snapshot yields an empty tree at seq 0 with a zero digest.
+func loadSnapshot(dir string) (tree, uint64, uint64, error) {
 	path := filepath.Join(dir, "SNAPSHOT")
 	if _, err := os.Stat(path); os.IsNotExist(err) {
-		return tree{}, 0, nil
+		return tree{}, 0, 0, nil
 	}
 	if err := verifySnapshotCRC(path); err != nil {
-		return tree{}, 0, err
+		return tree{}, 0, 0, err
 	}
 
 	f, err := os.Open(path)
 	if err != nil {
-		return tree{}, 0, fmt.Errorf("storedb: open snapshot: %w", err)
+		return tree{}, 0, 0, fmt.Errorf("storedb: open snapshot: %w", err)
 	}
 	defer f.Close()
 	return decodeSnapshot(f)

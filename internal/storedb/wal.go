@@ -195,6 +195,14 @@ func (w *walWriter) appendGroup(batches []walBatch) error {
 	return nil
 }
 
+// syncNow fsyncs the log regardless of the writer's sync mode. The
+// promotion path uses it: an epoch bump must be durable even on stores
+// opened without SyncWrites. On failure the appended-but-unsynced bytes
+// stay; the caller fails sticky and Reopen cuts the unacknowledged tail.
+func (w *walWriter) syncNow() error {
+	return fsSync(w.f, "wal")
+}
+
 // rewind truncates the log back to the last good frame boundary after
 // a failed append. Best-effort: if the truncate itself fails the bytes
 // stay, and recovery's CRC check will still refuse a torn frame — only

@@ -37,6 +37,7 @@ const (
 	PathReplStatus   = "/replstatus"
 	PathReplSnapshot = "/repl/snapshot"
 	PathReplWAL      = "/repl/wal"
+	PathReplDigest   = "/repl/digest"
 )
 
 // TimeFormat is how instants are serialised on the wire.
@@ -70,6 +71,14 @@ const (
 	// bootstrap from /repl/snapshot before resuming the stream.
 	CodeCompacted = "compacted"
 
+	// CodeFenced is returned (HTTP 503) by a primary that has observed a
+	// higher promotion epoch than its own: some peer has been promoted
+	// past it, so accepting a write would risk a split brain. The fence
+	// is sticky — the server serves reads but refuses writes until an
+	// operator demotes it back into the replication stream. Clients
+	// treat it like CodeUnavailable and fail over.
+	CodeFenced = "fenced"
+
 	// CodeOverloaded is returned (HTTP 429) when the admission layer
 	// sheds a request: the server is alive but deliberately refusing
 	// work it cannot finish in time. Clients should back off and retry
@@ -85,6 +94,20 @@ const (
 // per-path default classification.
 const HeaderPriority = "X-Reputation-Priority"
 
+// HeaderEpoch carries the promotion epoch in both directions. On a
+// response it is the serving node's current epoch, so clients and
+// replicas learn about promotions from any exchange; on a request it is
+// the highest epoch the caller has observed, so a stale primary is
+// fenced by the first post-promotion request that reaches it.
+const HeaderEpoch = "X-Reputation-Epoch"
+
+// HeaderAckSeq carries, on write responses, the primary's committed
+// sequence number after the write. Together with HeaderEpoch it makes
+// every write acknowledgement a fencing token: an ack is (epoch, seq),
+// and an ack from a lower epoch than a later observed promotion marks
+// the write as needing quarantine review, never silent trust.
+const HeaderAckSeq = "X-Reputation-Seq"
+
 // Priority header values.
 const (
 	PriorityCritical   = "critical"
@@ -98,6 +121,7 @@ type ErrorResponse struct {
 	XMLName xml.Name `xml:"error"`
 	Code    string   `xml:"code,attr"`
 	Primary string   `xml:"primary,attr,omitempty"`
+	Epoch   uint64   `xml:"epoch,attr,omitempty"`
 	Message string   `xml:",chardata"`
 }
 
@@ -328,6 +352,8 @@ type HealthzResponse struct {
 	Role       string               `xml:"role"`
 	Primary    string               `xml:"primary,omitempty"`
 	Seq        uint64               `xml:"seq"`
+	Epoch      uint64               `xml:"epoch"`
+	Fenced     bool                 `xml:"fenced,omitempty"`
 	Lag        uint64               `xml:"lag"`
 	Draining   bool                 `xml:"draining"`
 	Inflight   int64                `xml:"inflight"`
@@ -353,9 +379,26 @@ type ReplStatusResponse struct {
 	XMLName  xml.Name            `xml:"replstatus"`
 	Role     string              `xml:"role"`
 	Seq      uint64              `xml:"seq"`
+	Epoch    uint64              `xml:"epoch"`
+	Digest   uint64              `xml:"digest"`
+	Fenced   bool                `xml:"fenced,omitempty"`
 	SnapSeq  uint64              `xml:"snap-seq"`
 	Storage  string              `xml:"storage,omitempty"`
 	Replicas []ReplicaStatusInfo `xml:"replicas>replica,omitempty"`
+}
+
+// ReplDigestResponse is the GET /repl/digest?seq=N document: the
+// primary's history digest at sequence N, used by a reconnecting
+// replica to find the last sequence number where its history and the
+// primary's agree. Known is false when the primary can no longer
+// answer for that position (compacted away); the replica must fall
+// back to a snapshot bootstrap.
+type ReplDigestResponse struct {
+	XMLName xml.Name `xml:"repl-digest"`
+	Seq     uint64   `xml:"seq"`
+	Digest  uint64   `xml:"digest"`
+	Known   bool     `xml:"known"`
+	Epoch   uint64   `xml:"epoch"`
 }
 
 // Encode writes v as an XML document with the standard header.
