@@ -28,18 +28,21 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-smoke runs the E19 lookup-throughput, E20 overload, E21
-# fault-grid, and E22 partition-safety benchmarks once each, as cheap
-# regression tripwires for the read-path fast lane, the admission layer,
-# the group-commit write pipeline, and epoch-fenced failover.
+# fault-grid, E22 partition-safety, and E23 wire-protocol benchmarks
+# once each, as cheap regression tripwires for the read-path fast lane,
+# the admission layer, the group-commit write pipeline, epoch-fenced
+# failover, and the binary wire protocol's speed and byte claims.
 bench-smoke:
-	$(GO) test -run=NONE -bench='E19|E20|E21|E22' -benchtime=1x .
+	$(GO) test -run=NONE -bench='E19|E20|E21|E22|E23' -benchtime=1x .
 
-# fuzz-smoke gives the WAL-tail fuzzer a short budget: fifteen seconds
-# of mutated tails (CRC flips, truncations, spliced frames) against the
-# recovery prefix property, on top of the deterministic corpus the test
-# suite always replays.
+# fuzz-smoke gives the fuzzers a short budget each: mutated WAL tails
+# (CRC flips, truncations, spliced frames) against the recovery prefix
+# property, and mutated binary wire frames (the same mutator
+# discipline) against the frame codec, on top of the deterministic
+# corpora the test suite always replays.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWALTail -fuzztime=15s ./internal/storedb
+	$(GO) test -run='^$$' -fuzz=FuzzBinaryFrame -fuzztime=15s ./internal/wire
 
 simulate:
 	$(GO) run ./cmd/simulate -exp all -quick

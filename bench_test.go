@@ -474,6 +474,39 @@ func BenchmarkE22PartitionSafety(b *testing.B) {
 	b.ReportMetric(converged, "converged")
 }
 
+// BenchmarkE23WireProtocol measures the compact binary wire protocol at
+// full scale: the E19-style mixed hot/cold lookup workload over real
+// loopback HTTP, XML vs binary vs binary+batch, admission control on.
+// Headline metrics: lookups/s and bytes/lookup per arm, and the
+// binary+batch factors over XML — the claims are >=2x lookups/s and
+// >=3x fewer bytes/lookup, enforced here at full scale.
+func BenchmarkE23WireProtocol(b *testing.B) {
+	var res simulation.WirePerfResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunWirePerf(simulation.DefaultWirePerfConfig(23))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.XML.Throughput, "xml-lookups/s")
+	b.ReportMetric(res.Binary.Throughput, "binary-lookups/s")
+	b.ReportMetric(res.BinaryBatch.Throughput, "batch-lookups/s")
+	b.ReportMetric(res.XML.BytesPerLookup, "xml-B/lookup")
+	b.ReportMetric(res.BinaryBatch.BytesPerLookup, "batch-B/lookup")
+	b.ReportMetric(res.XML.AllocsPerLookup, "xml-allocs/lookup")
+	b.ReportMetric(res.BinaryBatch.AllocsPerLookup, "batch-allocs/lookup")
+	b.ReportMetric(float64(res.BinaryBatch.P99.Nanoseconds()), "batch-p99-ns")
+	b.ReportMetric(res.SpeedupBatch, "batch-speedup-x")
+	b.ReportMetric(res.ByteFactorBatch, "batch-byte-factor-x")
+	if res.SpeedupBatch < 2 {
+		b.Errorf("binary+batch speedup = %.2fx, want >= 2x", res.SpeedupBatch)
+	}
+	if res.ByteFactorBatch < 3 {
+		b.Errorf("binary+batch byte factor = %.2fx, want >= 3x", res.ByteFactorBatch)
+	}
+}
+
 // BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
 // throughput into the embedded store through the full repository path.
 func BenchmarkE14StoredbIngest(b *testing.B) {

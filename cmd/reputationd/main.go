@@ -60,6 +60,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address for live profiling (empty disables)")
 	fullAgg := flag.Bool("full-aggregation", false, "aggregate with the full rescan instead of the incremental dirty-set engine")
 	reportCache := flag.Int("report-cache", 0, "report cache capacity in entries (0 = default, negative disables)")
+	xmlOnly := flag.Bool("xml-only", false, "disable the binary wire protocol (answer binary requests with 415, for staged rollouts)")
 	role := flag.String("role", "primary", "replication role: primary or replica")
 	primaryURL := flag.String("primary", "", "primary base URL (required with -role replica)")
 	replicaID := flag.String("replica-id", "", "identifier reported to the primary's /replstatus (defaults to the listen address)")
@@ -100,6 +101,7 @@ func main() {
 		MaxInflight:           *maxInflight,
 		FullAggregation:       *fullAgg,
 		ReportCacheEntries:    *reportCache,
+		DisableBinary:         *xmlOnly,
 		Mailer:                stdoutMailer{},
 	}
 	if *adaptive {

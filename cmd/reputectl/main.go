@@ -307,6 +307,11 @@ func cmdHealth(base string) {
 		log.Fatalf("reputectl: healthz: %v", err)
 	}
 	fmt.Printf("role:      %s\n", h.Role)
+	if h.Protocols != "" {
+		fmt.Printf("protocols: %s\n", h.Protocols)
+	} else {
+		fmt.Println("protocols: xml (pre-binary server)")
+	}
 	if h.Primary != "" {
 		fmt.Printf("primary:   %s\n", h.Primary)
 	}

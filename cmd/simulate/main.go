@@ -196,6 +196,13 @@ func experiments() []experiment {
 			}
 			return simulation.RunPartition(cfg)
 		}},
+		{"e23", "E23: compact binary wire protocol — lookups/s and bytes/lookup, XML vs binary vs binary+batch", func(seed int64, quick bool) (fmt.Stringer, error) {
+			cfg := simulation.DefaultWirePerfConfig(seed)
+			if quick {
+				cfg = simulation.QuickWirePerfConfig(seed)
+			}
+			return simulation.RunWirePerf(cfg)
+		}},
 	}
 }
 
@@ -239,6 +246,9 @@ func main() {
 	}
 	if want["partition"] {
 		want["e22"] = true
+	}
+	if want["wireperf"] {
+		want["e23"] = true
 	}
 
 	matched := 0

@@ -14,6 +14,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"softreputation/internal/core"
@@ -34,15 +36,26 @@ type API struct {
 	http     *http.Client
 	exec     *resilience.Executor
 	failover *Failover
+
+	// binary opts the client into the compact binary protocol; endpoints
+	// that turn it down are pinned in xmlOnly (see binary.go).
+	binary  bool
+	protoMu sync.Mutex
+	xmlOnly map[string]bool
+
+	// batcher, when set, coalesces concurrent Lookup calls into batch
+	// frames (see batcher.go).
+	batcher atomic.Pointer[Batcher]
 }
 
 // NewAPI creates an API client for the server at baseURL. A nil
-// httpClient selects http.DefaultClient; passing a client with a custom
-// transport is how lookups are routed through the anonymity network (or
-// a fault injector).
+// httpClient selects the package's shared keep-alive-tuned client (see
+// NewTransport); passing a client with a custom transport is how
+// lookups are routed through the anonymity network (or a fault
+// injector).
 func NewAPI(baseURL string, httpClient *http.Client) *API {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = defaultHTTPClient
 	}
 	return &API{base: baseURL, http: httpClient}
 }
@@ -54,7 +67,7 @@ func NewAPI(baseURL string, httpClient *http.Client) *API {
 // the presumed primary.
 func NewFailoverAPI(endpoints []string, httpClient *http.Client) *API {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = defaultHTTPClient
 	}
 	a := &API{base: endpoints[0], http: httpClient}
 	a.failover = newFailover(a, endpoints)
@@ -176,12 +189,19 @@ func (a *API) exchange(ctx context.Context, write bool, path string, body []byte
 	})
 }
 
+// reqBuffers pools request-encode buffers across calls; the lookup
+// path encodes one document per decision, and the buffer's growth
+// should be paid once, not per request.
+var reqBuffers = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
 func encodeReq(req interface{}) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := wire.Encode(&buf, req); err != nil {
+	buf := reqBuffers.Get().(*bytes.Buffer)
+	defer reqBuffers.Put(buf)
+	buf.Reset()
+	if err := wire.Encode(buf, req); err != nil {
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	return append(make([]byte, 0, buf.Len()), buf.Bytes()...), nil
 }
 
 // call POSTs req as XML to path and decodes the response into resp,
@@ -302,14 +322,8 @@ func metaToWire(meta core.SoftwareMeta) wire.SoftwareInfo {
 	}
 }
 
-// Lookup fetches the report for an executable, attaching advice from
-// any named expert-feed subscriptions (§4.2).
-func (a *API) Lookup(ctx context.Context, meta core.SoftwareMeta, feeds ...string) (Report, error) {
-	var resp wire.LookupResponse
-	req := wire.LookupRequest{Software: metaToWire(meta), Feeds: feeds}
-	if err := a.callRead(ctx, wire.PathLookup, req, &resp); err != nil {
-		return Report{}, err
-	}
+// reportFromWire converts a wire lookup response to the client form.
+func reportFromWire(resp *wire.LookupResponse) (Report, error) {
 	behaviors, err := core.ParseBehavior(resp.Behaviors)
 	if err != nil {
 		return Report{}, fmt.Errorf("client: lookup behaviours: %w", err)
@@ -336,6 +350,28 @@ func (a *API) Lookup(ctx context.Context, meta core.SoftwareMeta, feeds ...strin
 	return rep, nil
 }
 
+// Lookup fetches the report for an executable, attaching advice from
+// any named expert-feed subscriptions (§4.2). With batching enabled
+// (SetBatching) concurrent lookups coalesce into one wire round trip;
+// with the binary protocol enabled the request rides the compact
+// framing, falling back to XML per endpoint.
+func (a *API) Lookup(ctx context.Context, meta core.SoftwareMeta, feeds ...string) (Report, error) {
+	if b := a.batcher.Load(); b != nil {
+		return b.lookup(ctx, meta, feeds)
+	}
+	return a.lookupDirect(ctx, meta, feeds)
+}
+
+// lookupDirect is Lookup without the coalescing window.
+func (a *API) lookupDirect(ctx context.Context, meta core.SoftwareMeta, feeds []string) (Report, error) {
+	var resp wire.LookupResponse
+	req := wire.LookupRequest{Software: metaToWire(meta), Feeds: feeds}
+	if err := a.lookupExchange(ctx, &req, &resp); err != nil {
+		return Report{}, err
+	}
+	return reportFromWire(&resp)
+}
+
 // Rating is the user's answer to a rating prompt.
 type Rating struct {
 	// Score is the 1–10 grade.
@@ -349,15 +385,15 @@ type Rating struct {
 // Vote casts the session user's vote on an executable and returns the
 // comment ID when a comment was attached.
 func (a *API) Vote(ctx context.Context, session string, meta core.SoftwareMeta, r Rating) (uint64, error) {
-	var resp wire.VoteResponse
-	err := a.call(ctx, wire.PathVote, wire.VoteRequest{
+	req := wire.VoteRequest{
 		Session:   session,
 		Software:  metaToWire(meta),
 		Score:     r.Score,
 		Behaviors: r.Behaviors.String(),
 		Comment:   r.Comment,
-	}, &resp)
-	if err != nil {
+	}
+	var resp wire.VoteResponse
+	if err := a.voteExchange(ctx, &req, &resp); err != nil {
 		return 0, err
 	}
 	return resp.CommentID, nil

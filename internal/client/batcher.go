@@ -1,0 +1,172 @@
+package client
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"time"
+
+	"softreputation/internal/core"
+	"softreputation/internal/wire"
+)
+
+// Batcher coalesces concurrent Lookup calls into batched wire round
+// trips: the first lookup in a window opens a group, later lookups with
+// the same feeds and priority join it, and when the window closes (or
+// the group fills) one LookupBatch flushes them all. Host fleets that
+// burst lookups — a prefetch sweep, a login storm starting the same
+// programs — pay one frame per window instead of one request per call.
+//
+// Callers that look up the same executable concurrently share a single
+// in-flight entry; each caller still honours its own context while
+// waiting.
+type Batcher struct {
+	api      *API
+	window   time.Duration
+	maxBatch int
+
+	mu     sync.Mutex
+	groups map[string]*batchGroup
+}
+
+// batchGroup is one pending flush: lookups sharing feeds and priority.
+type batchGroup struct {
+	key      string
+	priority string
+	feeds    []string
+	entries  []*batchEntry
+	byID     map[core.SoftwareID]*batchEntry
+	timer    *time.Timer
+}
+
+// batchEntry is one distinct executable in a group; all callers asking
+// for it wait on done.
+type batchEntry struct {
+	meta   core.SoftwareMeta
+	done   chan struct{}
+	report Report
+	err    error
+}
+
+// SetBatching installs a coalescing window on the API's Lookup path:
+// lookups arriving within window of each other (same feeds, same
+// priority) ride one batch frame, flushed early once maxBatch distinct
+// executables are pending. window <= 0 removes the batcher, restoring
+// direct per-call lookups. Returns the API for chaining.
+func (a *API) SetBatching(window time.Duration, maxBatch int) *API {
+	if window <= 0 {
+		a.batcher.Store(nil)
+		return a
+	}
+	if maxBatch <= 0 || maxBatch > wire.MaxBatchLookups {
+		maxBatch = wire.MaxBatchLookups
+	}
+	a.batcher.Store(&Batcher{
+		api:      a,
+		window:   window,
+		maxBatch: maxBatch,
+		groups:   make(map[string]*batchGroup),
+	})
+	return a
+}
+
+// groupKey buckets lookups that may legally share a batch: the feed set
+// shapes the response, and the priority must survive coalescing — a
+// background prefetch must not ride a critical lookup's frame and
+// inherit its admission class.
+func groupKey(priority string, feeds []string) string {
+	return priority + "\x00" + strings.Join(feeds, "\x00")
+}
+
+// lookup enqueues one lookup into the current window and waits for its
+// group's flush. The caller's own context bounds only its wait: a
+// caller giving up does not cancel the shared flight others wait on.
+func (b *Batcher) lookup(ctx context.Context, meta core.SoftwareMeta, feeds []string) (Report, error) {
+	priority, _ := ctx.Value(priorityKey{}).(string)
+	entry, flushNow := b.enqueue(priority, feeds, meta)
+	if flushNow != nil {
+		b.flush(flushNow)
+	}
+	select {
+	case <-entry.done:
+		return entry.report, entry.err
+	case <-ctx.Done():
+		return Report{}, ctx.Err()
+	}
+}
+
+// enqueue adds meta to its group, creating the group (and arming its
+// window timer) when absent. It returns the entry to wait on and, when
+// this call filled the group, the group to flush immediately.
+func (b *Batcher) enqueue(priority string, feeds []string, meta core.SoftwareMeta) (*batchEntry, *batchGroup) {
+	key := groupKey(priority, feeds)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g := b.groups[key]
+	if g == nil {
+		g = &batchGroup{
+			key:      key,
+			priority: priority,
+			feeds:    append([]string(nil), feeds...),
+			byID:     make(map[core.SoftwareID]*batchEntry),
+		}
+		b.groups[key] = g
+		g.timer = time.AfterFunc(b.window, func() {
+			if got := b.take(key, g); got != nil {
+				b.run(got)
+			}
+		})
+	}
+	if e := g.byID[meta.ID]; e != nil {
+		return e, nil
+	}
+	e := &batchEntry{meta: meta, done: make(chan struct{})}
+	g.entries = append(g.entries, e)
+	g.byID[meta.ID] = e
+	if len(g.entries) >= b.maxBatch {
+		delete(b.groups, key)
+		g.timer.Stop()
+		return e, g
+	}
+	return e, nil
+}
+
+// take detaches g from the pending map if it is still the group
+// registered under key (a full group may already have flushed early).
+func (b *Batcher) take(key string, g *batchGroup) *batchGroup {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.groups[key] != g {
+		return nil
+	}
+	delete(b.groups, key)
+	return g
+}
+
+// flush runs a full group synchronously on the caller that filled it —
+// it is already paying a wire round trip; no reason to bounce to a
+// timer goroutine.
+func (b *Batcher) flush(g *batchGroup) { b.run(g) }
+
+// run issues the batch and distributes results. The flight uses a fresh
+// context carrying the group's priority: individual callers' contexts
+// bound their waits, not the shared request.
+func (b *Batcher) run(g *batchGroup) {
+	ctx := context.Background()
+	if g.priority != "" {
+		ctx = WithPriority(ctx, g.priority)
+	}
+	metas := make([]core.SoftwareMeta, len(g.entries))
+	for i, e := range g.entries {
+		metas[i] = e.meta
+	}
+	results, err := b.api.LookupBatch(ctx, metas, g.feeds...)
+	for i, e := range g.entries {
+		if err != nil {
+			e.err = err
+		} else {
+			e.report, e.err = results[i].Report, results[i].Err
+		}
+		close(e.done)
+	}
+}

@@ -332,17 +332,43 @@ func (c *Client) Prefetch(ctx context.Context, metas []core.SoftwareMeta) (int, 
 	// Prefetch is cache warming: the admission layer should shed it
 	// long before it touches a lookup holding a frozen process.
 	ctx = WithPriority(ctx, wire.PriorityBackground)
+	if c.lookupTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(len(metas)+1)*c.lookupTimeout)
+		defer cancel()
+	}
+	// The whole sweep rides batched lookups: one wire round trip per
+	// wire.MaxBatchLookups chunk on a binary server, sequential singles
+	// on an XML-only one — LookupBatch degrades by endpoint.
+	results, err := c.api.LookupBatch(ctx, metas, c.subscriptions...)
+	c.mu.Lock()
+	c.stats.Lookups += len(metas)
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		c.stats.LookupFailures += len(metas)
+		c.mu.Unlock()
+		return 0, err
+	}
 	cached := 0
-	for _, meta := range metas {
-		rep, err := c.lookup(ctx, meta)
-		if err != nil {
-			return cached, err
+	now := c.clock.Now()
+	var firstErr error
+	for i, res := range results {
+		if res.Err != nil {
+			c.mu.Lock()
+			c.stats.LookupFailures++
+			c.mu.Unlock()
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			continue
 		}
-		if rep.Known {
+		c.cachePut(metas[i].ID, res.Report, now)
+		if res.Report.Known {
 			cached++
 		}
 	}
-	return cached, nil
+	return cached, firstErr
 }
 
 // lookup performs one server lookup with the configured deadline and

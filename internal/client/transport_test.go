@@ -1,0 +1,68 @@
+package client
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestTransportReusesConnections is the dial-count regression for the
+// tuned transport: a burst of concurrent lookups wider than
+// http.DefaultMaxIdleConnsPerHost (2) must leave enough warm
+// connections that a second burst dials nothing new. The stock default
+// transport closes all but two of the burst's connections, so every
+// later burst pays fresh dials — the regression this test pins out.
+func TestTransportReusesConnections(t *testing.T) {
+	f := newBinFixture(t, nil)
+
+	var mu sync.Mutex
+	dials := 0
+	transport := NewTransport()
+	transport.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		mu.Lock()
+		dials++
+		mu.Unlock()
+		return (&net.Dialer{}).DialContext(ctx, network, addr)
+	}
+	api := NewAPI(f.ts.URL, &http.Client{Transport: transport})
+
+	const width = 8
+	burst := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < width; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if _, err := api.Lookup(context.Background(), binMeta(byte(100+i))); err != nil {
+					t.Errorf("lookup: %v", err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	burst()
+	mu.Lock()
+	after1 := dials
+	mu.Unlock()
+	if after1 == 0 || after1 > width {
+		t.Fatalf("first burst dials = %d", after1)
+	}
+
+	burst()
+	mu.Lock()
+	after2 := dials
+	mu.Unlock()
+	if after2 != after1 {
+		t.Fatalf("second burst dialed %d new connections; idle pool too small (MaxIdleConnsPerHost must cover the burst)", after2-after1)
+	}
+
+	// The tuned pool must actually be configured wider than the stock
+	// default that caused the regression.
+	if tr := NewTransport(); tr.MaxIdleConnsPerHost <= http.DefaultMaxIdleConnsPerHost {
+		t.Fatalf("MaxIdleConnsPerHost = %d, not raised above the default %d",
+			tr.MaxIdleConnsPerHost, http.DefaultMaxIdleConnsPerHost)
+	}
+}

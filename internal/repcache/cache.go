@@ -24,6 +24,19 @@ import (
 	"sync"
 )
 
+// Wire-format key namespaces. One report has two encodings — the XML
+// document and the binary frame — and the cache stores them as sibling
+// entries under the same owner, so a binary cache hit skips the encode
+// exactly like an XML hit, and one invalidation drops both. Keys from
+// different formats must never collide, hence the prefix.
+const (
+	FormatXML    = "x\x00"
+	FormatBinary = "b\x00"
+)
+
+// FormatKey namespaces key under a wire-format prefix.
+func FormatKey(format, key string) string { return format + key }
+
 // DefaultEntries is the cache capacity selected by a zero configuration:
 // enough to hold the whole working set at the paper's deployment scale
 // ("well over 2000 rated software programs") with room for per-feed-set

@@ -7,11 +7,14 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"softreputation/internal/admission"
 	"softreputation/internal/core"
 	"softreputation/internal/identity"
+	"softreputation/internal/repcache"
 	"softreputation/internal/repo"
 	"softreputation/internal/storedb"
 	"softreputation/internal/wire"
@@ -26,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(wire.PathActivate, s.handleActivate)
 	mux.HandleFunc(wire.PathLogin, s.handleLogin)
 	mux.HandleFunc(wire.PathLookup, s.handleLookup)
+	mux.HandleFunc(wire.PathLookupBatch, s.handleLookupBatch)
 	mux.HandleFunc(wire.PathVote, s.handleVote)
 	mux.HandleFunc(wire.PathRemark, s.handleRemark)
 	mux.HandleFunc(wire.PathVendor, s.handleVendor)
@@ -41,14 +45,51 @@ func (s *Server) Handler() http.Handler {
 	return s.harden(mux)
 }
 
+// encBuffers pools the per-response encode buffers: every XML response
+// is rendered into a pooled buffer (so Content-Length is known before
+// the first byte leaves and the buffer's growth is amortized across
+// requests) and written in one call.
+var encBuffers = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
 // writeXML sends v with a 200 status.
 func writeXML(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", wire.ContentType)
-	_ = wire.Encode(w, v)
+	writeXMLStatus(w, http.StatusOK, v)
 }
 
-// writeError maps a domain error onto a wire error code and HTTP status.
-func writeError(w http.ResponseWriter, err error) {
+// writeXMLStatus renders v through the buffer pool and sends it with
+// the given status and an exact Content-Length, which keeps persistent
+// connections reusable without chunked framing.
+func writeXMLStatus(w http.ResponseWriter, status int, v interface{}) {
+	buf := encBuffers.Get().(*bytes.Buffer)
+	defer encBuffers.Put(buf)
+	buf.Reset()
+	if err := wire.Encode(buf, v); err != nil {
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	_, _ = w.Write(buf.Bytes())
+}
+
+// encodeXMLBody renders v to a fresh exact-size byte slice via the
+// buffer pool — the form the report cache stores.
+func encodeXMLBody(v interface{}) ([]byte, error) {
+	buf := encBuffers.Get().(*bytes.Buffer)
+	defer encBuffers.Put(buf)
+	buf.Reset()
+	if err := wire.Encode(buf, v); err != nil {
+		return nil, err
+	}
+	return append(make([]byte, 0, buf.Len()), buf.Bytes()...), nil
+}
+
+// errorCodeStatus maps a domain error onto its wire error code and HTTP
+// status, shared by the XML and binary error writers.
+func errorCodeStatus(err error) (string, int) {
 	code := wire.CodeInternal
 	status := http.StatusInternalServerError
 	switch {
@@ -90,18 +131,20 @@ func writeError(w http.ResponseWriter, err error) {
 		// answer the gate gives, fail over to the new primary.
 		code, status = wire.CodeFenced, http.StatusServiceUnavailable
 	}
-	w.Header().Set("Content-Type", wire.ContentType)
-	w.WriteHeader(status)
-	_ = wire.Encode(w, &wire.ErrorResponse{Code: code, Message: err.Error()})
+	return code, status
+}
+
+// writeError maps a domain error onto a wire error code and HTTP status.
+func writeError(w http.ResponseWriter, err error) {
+	code, status := errorCodeStatus(err)
+	writeXMLStatus(w, status, &wire.ErrorResponse{Code: code, Message: err.Error()})
 }
 
 // decodeBody parses the request body into v, answering bad-request on
 // failure and reporting whether the handler should continue.
 func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	if err := wire.Decode(http.MaxBytesReader(w, r.Body, 1<<20), v); err != nil {
-		w.Header().Set("Content-Type", wire.ContentType)
-		w.WriteHeader(http.StatusBadRequest)
-		_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeBadRequest, Message: err.Error()})
+		writeXMLStatus(w, http.StatusBadRequest, &wire.ErrorResponse{Code: wire.CodeBadRequest, Message: err.Error()})
 		return false
 	}
 	return true
@@ -229,37 +272,47 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	isBin := isBinaryRequest(r)
+	if isBin && !s.binaryEnabled() {
+		writeUnsupportedMedia(w)
+		return
+	}
+	format := repcache.FormatXML
+	if isBin {
+		format = repcache.FormatBinary
+	}
 	fast := s.fastLookup.Load()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		w.Header().Set("Content-Type", wire.ContentType)
-		w.WriteHeader(http.StatusBadRequest)
-		_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeBadRequest, Message: err.Error()})
+		writeBadRequest(w, isBin, err)
 		return
 	}
 	// Wire-level fast path: an identical request produces an identical
 	// report, so a repeated body serves the cached pre-encoded bytes
-	// without even parsing the XML. Entries are owned by the software
-	// identity (established when the entry was filled), so the usual
-	// invalidation hooks cover them.
+	// without even parsing the request. Entries are owned by the
+	// software identity (established when the entry was filled), so the
+	// usual invalidation hooks cover them. The format prefix keeps one
+	// report's XML and binary encodings as sibling entries.
 	bodyKeyed := fast && len(body) <= maxCachedLookupRequest
 	if bodyKeyed {
-		if data, ok := s.reports.Probe(string(body)); ok {
-			w.Header().Set("Content-Type", wire.ContentType)
-			_, _ = w.Write(data)
+		if data, ok := s.reports.Probe(repcache.FormatKey(format, string(body))); ok {
+			writeNegotiated(w, isBin, data)
 			return
 		}
 	}
 	var req wire.LookupRequest
-	if err := wire.Decode(bytes.NewReader(body), &req); err != nil {
-		w.Header().Set("Content-Type", wire.ContentType)
-		w.WriteHeader(http.StatusBadRequest)
-		_ = wire.Encode(w, &wire.ErrorResponse{Code: wire.CodeBadRequest, Message: err.Error()})
+	if isBin {
+		req, err = decodeBinaryLookupBody(body)
+	} else {
+		err = wire.Decode(bytes.NewReader(body), &req)
+	}
+	if err != nil {
+		writeBadRequest(w, isBin, err)
 		return
 	}
 	meta, err := metaFromWire(req.Software)
 	if err != nil {
-		writeError(w, err)
+		writeErrorNegotiated(w, isBin, err)
 		return
 	}
 	// Brownout: at LevelCacheOnly and above, cache hits still serve the
@@ -273,32 +326,33 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, false, err
 		}
-		var buf bytes.Buffer
-		if err := wire.Encode(&buf, resp); err != nil {
+		var data []byte
+		if isBin {
+			data = wire.EncodeBinaryReport(resp)
+		} else if data, err = encodeXMLBody(resp); err != nil {
 			return nil, false, err
 		}
 		// First-sight responses carry Known=false, which must flip to
 		// true on the next lookup — never cache them. Lean brownout
 		// reports are equally uncacheable: they must not outlive the
 		// brownout.
-		return buf.Bytes(), resp.Known && !lean, nil
+		return data, resp.Known && !lean, nil
 	}
 	var data []byte
 	if fast {
-		key := string(body)
+		key := repcache.FormatKey(format, string(body))
 		if !bodyKeyed {
-			key = reportCacheKey(meta.ID, req.Feeds)
+			key = repcache.FormatKey(format, reportCacheKey(meta.ID, req.Feeds))
 		}
 		data, err = s.reports.Do(reportOwner(meta.ID), key, fill)
 	} else {
 		data, _, err = fill()
 	}
 	if err != nil {
-		writeError(w, err)
+		writeErrorNegotiated(w, isBin, err)
 		return
 	}
-	w.Header().Set("Content-Type", wire.ContentType)
-	_, _ = w.Write(data)
+	writeNegotiated(w, isBin, data)
 }
 
 // reportCacheKey keys a cached report by executable identity plus the
@@ -387,29 +441,47 @@ func (s *Server) buildLookupResponse(meta core.SoftwareMeta, feeds []string, fas
 }
 
 func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
-	if s.rejectWriteOnReplica(w) {
+	isBin := isBinaryRequest(r)
+	if isBin && !s.binaryEnabled() {
+		writeUnsupportedMedia(w)
+		return
+	}
+	if s.rejectWriteOnReplicaNegotiated(w, isBin) {
 		return
 	}
 	if !requirePost(w, r) {
 		return
 	}
 	var req wire.VoteRequest
-	if !decodeBody(w, r, &req) {
+	if isBin {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err == nil {
+			req, err = decodeBinaryVoteBody(body)
+		}
+		if err != nil {
+			writeBadRequest(w, true, err)
+			return
+		}
+	} else if !decodeBody(w, r, &req) {
 		return
 	}
 	meta, err := metaFromWire(req.Software)
 	if err != nil {
-		writeError(w, err)
+		writeErrorNegotiated(w, isBin, err)
 		return
 	}
 	behaviors, err := core.ParseBehavior(req.Behaviors)
 	if err != nil {
-		writeError(w, err)
+		writeErrorNegotiated(w, isBin, err)
 		return
 	}
 	commentID, err := s.Vote(req.Session, meta, req.Score, behaviors, req.Comment)
 	if err != nil {
-		writeError(w, err)
+		writeErrorNegotiated(w, isBin, err)
+		return
+	}
+	if isBin {
+		writeNegotiated(w, true, wire.EncodeBinaryVoteAck(&wire.VoteResponse{CommentID: commentID}))
 		return
 	}
 	writeXML(w, wire.VoteResponse{CommentID: commentID})

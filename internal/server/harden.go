@@ -126,7 +126,11 @@ func bypassAdmission(path string) bool {
 func classifyRequest(r *http.Request) admission.Class {
 	var class admission.Class
 	switch r.URL.Path {
-	case wire.PathLookup:
+	case wire.PathLookup, wire.PathLookupBatch:
+		// A batch is classified exactly like a single lookup — by its
+		// own priority header below — so coalescing lookups into one
+		// frame cannot launder a background prefetch into the
+		// interactive class.
 		class = admission.Interactive
 	case wire.PathVendor:
 		// Vendor reports back the execution prompt, like lookups.

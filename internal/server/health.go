@@ -157,15 +157,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := &wire.HealthzResponse{
-		Role:     s.Role(),
-		Primary:  s.PrimaryURL(),
-		Seq:      s.store.Seq(),
-		Epoch:    s.Epoch(),
-		Fenced:   s.Fenced(),
-		Lag:      s.replLag(),
-		Draining: s.Draining(),
-		Inflight: atomic.LoadInt64(&s.inflight),
-		Storage:  s.storageInfo(),
+		Protocols: s.Protocols(),
+		Role:      s.Role(),
+		Primary:   s.PrimaryURL(),
+		Seq:       s.store.Seq(),
+		Epoch:     s.Epoch(),
+		Fenced:    s.Fenced(),
+		Lag:       s.replLag(),
+		Draining:  s.Draining(),
+		Inflight:  atomic.LoadInt64(&s.inflight),
+		Storage:   s.storageInfo(),
 	}
 	if s.admit != nil {
 		resp.Brownout = s.admit.Level().String()

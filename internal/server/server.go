@@ -109,6 +109,11 @@ type Config struct {
 	// instead of the incremental dirty-set recompute — the escape hatch
 	// behind the daemon's -full-aggregation flag.
 	FullAggregation bool
+	// DisableBinary restricts the server to the XML protocol: binary
+	// requests answer 415 unsupported-media and /healthz advertises
+	// "xml". It exists to stand in for a pre-binary deployment during a
+	// mixed-version rollout (and in the compat tests).
+	DisableBinary bool
 }
 
 // Server is the reputation server. It is safe for concurrent use.

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzSeedFrames returns one valid frame of every type, the corpus the
+// fuzzer mutates from.
+func fuzzSeedFrames() [][]byte {
+	info := SoftwareInfo{ID: "abcd1234", FileName: "tool.exe", FileSize: 4096, Vendor: "v", Version: "1"}
+	return [][]byte{
+		EncodeBinaryLookup(&LookupRequest{Software: info, Feeds: []string{"lab"}}),
+		EncodeBinaryLookupBatch([]SoftwareInfo{info, info}, []string{"lab", "gov"}),
+		EncodeBinaryReport(sampleReport()),
+		EncodeBinaryVote(&VoteRequest{Session: "s", Software: info, Score: 3, Behaviors: "adware", Comment: "c"}),
+		EncodeBinaryVoteAck(&VoteResponse{CommentID: 12}),
+		EncodeBinaryError(&ErrorResponse{Code: CodeOverloaded, Epoch: 2, Message: "busy"}),
+	}
+}
+
+// FuzzBinaryFrame feeds arbitrary bytes through every frame entry point
+// — the stream reader, the body splitter, and all typed decoders. The
+// invariants are the WAL fuzzer's: never panic, never allocate from a
+// forged length, and anything a decoder accepts must re-encode to a
+// frame that decodes to the same value (the codec is canonical).
+func FuzzBinaryFrame(f *testing.F) {
+	for _, frame := range fuzzSeedFrames() {
+		f.Add(frame)
+		// Deterministic mutants seed the interesting corners directly:
+		// every short truncation class, a CRC flip, a forged giant
+		// length, and trailing garbage.
+		f.Add(frame[:len(frame)/2])
+		f.Add(frame[:binFrameHeaderSize-1])
+		flipped := append([]byte(nil), frame...)
+		flipped[4] ^= 0x80
+		f.Add(flipped)
+		forged := append([]byte(nil), frame...)
+		binary.BigEndian.PutUint32(forged[0:4], MaxBinaryFrame+1)
+		f.Add(forged)
+		f.Add(append(append([]byte(nil), frame...), 0xFF, 0x00, 0xFF))
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Stream reader: must terminate (each frame consumes ≥ 8 bytes)
+		// and surface io.EOF only at a clean boundary.
+		r := bufio.NewReader(bytes.NewReader(data))
+		for {
+			payload, err := ReadBinaryFrame(r)
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrBinaryFrame) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				break
+			}
+			fuzzDecodePayload(t, payload)
+		}
+
+		// Body splitter on the raw bytes.
+		if payload, rest, err := SplitBinaryFrame(data); err == nil {
+			if len(payload)+len(rest)+binFrameHeaderSize != len(data) {
+				t.Fatalf("split lost bytes: %d + %d + 8 != %d", len(payload), len(rest), len(data))
+			}
+			fuzzDecodePayload(t, payload)
+		}
+
+		// Typed decoders on the unframed bytes too: a server never does
+		// this (CRC first), but the decoders must still be total.
+		fuzzDecodePayload(t, data)
+	})
+}
+
+// fuzzDecodePayload runs every typed decoder over one payload and
+// checks the re-encode invariant on accepted values.
+func fuzzDecodePayload(t *testing.T, payload []byte) {
+	if req, err := DecodeBinaryLookup(payload); err == nil {
+		again, _, err := SplitBinaryFrame(EncodeBinaryLookup(&req))
+		if err != nil {
+			t.Fatalf("re-encode lookup: %v", err)
+		}
+		if _, err := DecodeBinaryLookup(again); err != nil {
+			t.Fatalf("re-decode lookup: %v", err)
+		}
+	}
+	if infos, feeds, err := DecodeBinaryLookupBatch(payload); err == nil {
+		again, _, err := SplitBinaryFrame(EncodeBinaryLookupBatch(infos, feeds))
+		if err != nil {
+			t.Fatalf("re-encode batch: %v", err)
+		}
+		if _, _, err := DecodeBinaryLookupBatch(again); err != nil {
+			t.Fatalf("re-decode batch: %v", err)
+		}
+	}
+	if resp, err := DecodeBinaryReport(payload); err == nil {
+		again, _, err := SplitBinaryFrame(EncodeBinaryReport(&resp))
+		if err != nil {
+			t.Fatalf("re-encode report: %v", err)
+		}
+		if _, err := DecodeBinaryReport(again); err != nil {
+			t.Fatalf("re-decode report: %v", err)
+		}
+	}
+	if vote, err := DecodeBinaryVote(payload); err == nil {
+		if _, _, err := SplitBinaryFrame(EncodeBinaryVote(&vote)); err != nil {
+			t.Fatalf("re-encode vote: %v", err)
+		}
+	}
+	if ack, err := DecodeBinaryVoteAck(payload); err == nil {
+		if _, _, err := SplitBinaryFrame(EncodeBinaryVoteAck(&ack)); err != nil {
+			t.Fatalf("re-encode ack: %v", err)
+		}
+	}
+	if e, err := DecodeBinaryError(payload); err == nil {
+		if _, _, err := SplitBinaryFrame(EncodeBinaryError(e)); err != nil {
+			t.Fatalf("re-encode error: %v", err)
+		}
+	}
+}

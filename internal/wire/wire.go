@@ -348,7 +348,11 @@ type StorageInfo struct {
 // concurrency estimate, and Classes breaks admissions and sheds down
 // by priority class.
 type HealthzResponse struct {
-	XMLName    xml.Name             `xml:"healthz"`
+	XMLName xml.Name `xml:"healthz"`
+	// Protocols names the wire formats this endpoint speaks, most
+	// preferred first ("binary,xml", or "xml" on the compat arm). Empty
+	// means a pre-binary server: XML only.
+	Protocols  string               `xml:"protocols,omitempty"`
 	Role       string               `xml:"role"`
 	Primary    string               `xml:"primary,omitempty"`
 	Seq        uint64               `xml:"seq"`
