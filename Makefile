@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-smoke fuzz-smoke simulate verify
+.PHONY: build test vet staticcheck race bench bench-smoke fuzz-smoke metrics-lint simulate verify
 
 build:
 	$(GO) build ./...
@@ -28,12 +28,20 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-smoke runs the E19 lookup-throughput, E20 overload, E21
-# fault-grid, E22 partition-safety, and E23 wire-protocol benchmarks
-# once each, as cheap regression tripwires for the read-path fast lane,
-# the admission layer, the group-commit write pipeline, epoch-fenced
-# failover, and the binary wire protocol's speed and byte claims.
+# fault-grid, E22 partition-safety, E23 wire-protocol, and E24
+# telemetry benchmarks once each, as cheap regression tripwires for the
+# read-path fast lane, the admission layer, the group-commit write
+# pipeline, epoch-fenced failover, the binary wire protocol's speed and
+# byte claims, and the instrumentation-overhead budget.
 bench-smoke:
-	$(GO) test -run=NONE -bench='E19|E20|E21|E22|E23' -benchtime=1x .
+	$(GO) test -run=NONE -bench='E19|E20|E21|E22|E23|E24' -benchtime=1x .
+
+# metrics-lint checks every registered metric against the naming and
+# shape rules (counters end in _total, non-empty help, valid label
+# names, histograms with buckets) by running the registry lint over the
+# full server registration.
+metrics-lint:
+	$(GO) test -run='TestMetricsLint' ./internal/server
 
 # fuzz-smoke gives the fuzzers a short budget each: mutated WAL tails
 # (CRC flips, truncations, spliced frames) against the recovery prefix
@@ -48,7 +56,7 @@ simulate:
 	$(GO) run ./cmd/simulate -exp all -quick
 
 # verify is the gate for every change: tier-1 (build + test) plus vet,
-# staticcheck, the race detector, the benchmark smoke, and the WAL fuzz
-# smoke.
-verify: build vet staticcheck race test bench-smoke fuzz-smoke
+# staticcheck, the race detector, the metrics lint, the benchmark
+# smoke, and the WAL fuzz smoke.
+verify: build vet staticcheck race test metrics-lint bench-smoke fuzz-smoke
 	@echo "verify: OK"

@@ -507,6 +507,38 @@ func BenchmarkE23WireProtocol(b *testing.B) {
 	}
 }
 
+// BenchmarkE24TelemetryOverhead measures what the production telemetry
+// costs on the hottest path: the E23 binary-lookup workload over
+// loopback HTTP, telemetry on vs compiled out, interleaved trials,
+// best-of per arm. The claim enforced here: instrumentation costs less
+// than 3% of throughput. The run also replays the injected-storage
+// incident and asserts it stays diagnosable from /metrics + /trace
+// text alone.
+func BenchmarkE24TelemetryOverhead(b *testing.B) {
+	var res simulation.TelemetryResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunTelemetry(simulation.DefaultTelemetryConfig(24))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Off.Throughput, "off-lookups/s")
+	b.ReportMetric(res.On.Throughput, "on-lookups/s")
+	b.ReportMetric(res.OverheadPct, "overhead-%")
+	diagnosed := 0.0
+	if res.Incident.Diagnosed() {
+		diagnosed = 1
+	}
+	b.ReportMetric(diagnosed, "incident-diagnosed")
+	if res.OverheadPct >= 3 {
+		b.Errorf("telemetry overhead = %.2f%%, want < 3%%", res.OverheadPct)
+	}
+	if !res.Incident.Diagnosed() {
+		b.Errorf("storage incident not diagnosable from scrapes: %+v", res.Incident)
+	}
+}
+
 // BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
 // throughput into the embedded store through the full repository path.
 func BenchmarkE14StoredbIngest(b *testing.B) {

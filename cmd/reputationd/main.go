@@ -5,6 +5,12 @@
 // Activation tokens are printed to standard output (a deployment would
 // plug an SMTP Mailer into server.Config instead).
 //
+// Operational surfaces: /metrics serves the whole registry in the
+// Prometheus text format (on the main listener, and additionally on
+// the -metrics address when set), /trace serves the ring of recent
+// slow or errored requests, and everything the daemon logs is
+// structured key=value at the level selected by -log-level.
+//
 // Usage:
 //
 //	reputationd -addr :8080 -data ./data -pepper "a long secret"
@@ -17,7 +23,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/ on the -pprof listener
 	"os"
@@ -31,13 +36,15 @@ import (
 	"softreputation/internal/repo"
 	"softreputation/internal/server"
 	"softreputation/internal/storedb"
+	"softreputation/internal/telemetry"
+	"softreputation/internal/wire"
 )
 
 // stdoutMailer prints activation mail instead of sending it.
-type stdoutMailer struct{}
+type stdoutMailer struct{ log *telemetry.Logger }
 
-func (stdoutMailer) SendActivation(email, username, token string) {
-	log.Printf("activation mail to %s: user=%s token=%s", email, username, token)
+func (m stdoutMailer) SendActivation(email, username, token string) {
+	m.log.Info("activation mail", "email", email, "user", username, "token", token)
 }
 
 func main() {
@@ -58,6 +65,8 @@ func main() {
 	latencyTarget := flag.Duration("admission-latency", 50*time.Millisecond, "handler latency the adaptive limiter steers toward")
 	grace := flag.Duration("grace", 10*time.Second, "drain window for in-flight requests at shutdown")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address for live profiling (empty disables)")
+	metricsAddr := flag.String("metrics", "", "additionally expose /metrics and /trace on this address (they are always on the main listener)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	fullAgg := flag.Bool("full-aggregation", false, "aggregate with the full rescan instead of the incremental dirty-set engine")
 	reportCache := flag.Int("report-cache", 0, "report cache capacity in entries (0 = default, negative disables)")
 	xmlOnly := flag.Bool("xml-only", false, "disable the binary wire protocol (answer binary requests with 415, for staged rollouts)")
@@ -67,8 +76,14 @@ func main() {
 	replPoll := flag.Duration("repl-poll", time.Second, "how often a replica polls the primary's WAL")
 	flag.Parse()
 
+	logger := telemetry.NewLogger(os.Stderr, telemetry.ParseLogLevel(*logLevel))
+	fatal := func(msg string, kv ...interface{}) {
+		logger.Error(msg, kv...)
+		os.Exit(1)
+	}
+
 	if *pepper == "" {
-		log.Fatal("reputationd: -pepper is required; the e-mail hash is only private while the secret string is")
+		fatal("-pepper is required; the e-mail hash is only private while the secret string is")
 	}
 	isReplica := false
 	switch *role {
@@ -76,15 +91,15 @@ func main() {
 	case "replica":
 		isReplica = true
 		if *primaryURL == "" {
-			log.Fatal("reputationd: -role replica requires -primary")
+			fatal("-role replica requires -primary")
 		}
 	default:
-		log.Fatalf("reputationd: unknown -role %q (want primary or replica)", *role)
+		fatal("unknown -role (want primary or replica)", "role", *role)
 	}
 
 	store, err := repo.Open(storedb.Options{Dir: *dataDir, SyncWrites: *sync})
 	if err != nil {
-		log.Fatalf("reputationd: open store: %v", err)
+		fatal("open store failed", "dir", *dataDir, "err", err)
 	}
 	defer store.Close()
 
@@ -102,7 +117,7 @@ func main() {
 		FullAggregation:       *fullAgg,
 		ReportCacheEntries:    *reportCache,
 		DisableBinary:         *xmlOnly,
-		Mailer:                stdoutMailer{},
+		Mailer:                stdoutMailer{log: logger},
 	}
 	if *adaptive {
 		scfg.AdmissionControl = true
@@ -121,6 +136,7 @@ func main() {
 			DB:      store.DB(),
 			Primary: *primaryURL,
 			ID:      id,
+			Logger:  logger,
 			// Divergence repair quarantines displaced batches here —
 			// writes acked by a deposed primary that the new epoch never
 			// saw. `reputectl -data <dir> journal` lists them.
@@ -136,7 +152,10 @@ func main() {
 	}
 	srv, err := server.New(scfg)
 	if err != nil {
-		log.Fatalf("reputationd: %v", err)
+		fatal("server init failed", "err", err)
+	}
+	if repl != nil && srv.Metrics() != nil {
+		repl.RegisterMetrics(srv.Metrics())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -146,17 +165,52 @@ func main() {
 	// its sticky read-only state (writes shed 503, reads keep serving);
 	// the supervisor is the way back, retrying reopen-with-verify under
 	// backoff until the device recovers or the operator intervenes.
-	go storedb.SuperviseReopen(ctx, store.DB(), time.Second, log.Printf)
+	go storedb.SuperviseReopen(ctx, store.DB(), time.Second, logger.Logf)
+
+	// Auxiliary listeners (pprof, metrics) get the same lifecycle as the
+	// API listener: header timeouts against slow-loris peers and a
+	// graceful shutdown tied to the drain, so the process never leaks a
+	// listener past its drain window.
+	serveAux := func(name, addr string, handler http.Handler) {
+		aux := &http.Server{
+			Addr:              addr,
+			Handler:           handler,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       15 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			<-ctx.Done()
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+			defer cancel()
+			_ = aux.Shutdown(shutdownCtx)
+		}()
+		go func() {
+			logger.Info(name+" listener up", "addr", addr)
+			if err := aux.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error(name+" listener failed", "addr", addr, "err", err)
+			}
+		}()
+	}
 
 	if *pprofAddr != "" {
 		// The profiling endpoints live on their own listener so they are
-		// never exposed on the public API address.
-		go func() {
-			log.Printf("reputationd: pprof on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("reputationd: pprof: %v", err)
-			}
-		}()
+		// never exposed on the public API address. http.DefaultServeMux
+		// carries the pprof registrations from the blank import.
+		serveAux("pprof", *pprofAddr, http.DefaultServeMux)
+	}
+	if *metricsAddr != "" && srv.Metrics() != nil {
+		mux := http.NewServeMux()
+		mux.HandleFunc(wire.PathMetrics, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", server.MetricsContentType)
+			_ = srv.Metrics().WritePrometheus(w)
+		})
+		mux.HandleFunc(wire.PathTrace, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = srv.Trace().WriteText(w)
+		})
+		serveAux("metrics", *metricsAddr, mux)
 	}
 
 	if isReplica {
@@ -175,9 +229,9 @@ func main() {
 					return
 				case <-ticker.C:
 					if ran, err := srv.MaybeAggregate(); err != nil {
-						log.Printf("reputationd: aggregation: %v", err)
+						logger.Error("aggregation failed", "err", err)
 					} else if ran {
-						log.Printf("reputationd: aggregation run complete")
+						logger.Info("aggregation run complete")
 					}
 				}
 			}
@@ -203,7 +257,7 @@ func main() {
 		<-ctx.Done()
 		// Graceful shutdown: refuse new work first (clients see 503 +
 		// Retry-After and fail over), then drain in-flight requests.
-		log.Println("reputationd: draining for shutdown")
+		logger.Info("draining for shutdown", "grace", *grace)
 		srv.SetDraining(true)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
@@ -213,9 +267,11 @@ func main() {
 	st, _ := store.Stats()
 	fmt.Printf("reputationd: serving on %s as %s (data %s: %d users, %d software, %d ratings)\n",
 		*addr, *role, *dataDir, st.Users, st.Software, st.Ratings)
+	logger.Info("serving", "addr", *addr, "role", *role, "data", *dataDir,
+		"users", st.Users, "software", st.Software, "ratings", st.Ratings)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("reputationd: %v", err)
+		fatal("listener failed", "addr", *addr, "err", err)
 	}
 	<-drained
-	log.Println("reputationd: shut down")
+	logger.Info("shut down")
 }

@@ -13,9 +13,13 @@
 //	reputectl -data ./data top 20
 //	reputectl -data ./data journal
 //	reputectl health http://localhost:8080
+//	reputectl metrics http://localhost:8080 repcache
+//	reputectl trace http://localhost:8080
 //
-// health is the one online command: it queries a running server's
-// /healthz and /replstatus endpoints instead of opening the store.
+// health, loadstatus, storagestatus, metrics, and trace are the online
+// commands: they query a running server's observability endpoints
+// (/healthz, /replstatus, /metrics, /trace) instead of opening the
+// store.
 //
 // Bootstrap CSV columns: filename,vendor,version,size,score,votes,behaviors
 // (behaviors is the comma-free "|"-separated flag list, e.g.
@@ -26,6 +30,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -48,16 +53,34 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | journal | health <url> | loadstatus <url> | storagestatus <url>")
+		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | journal | health <url> | loadstatus <url> | storagestatus <url> | metrics <url> [filter] | trace <url>")
 	}
 
-	// health and loadstatus talk to a running server over HTTP, so they
-	// must not open the (single-process) store.
+	// health, loadstatus, metrics, and trace talk to a running server
+	// over HTTP, so they must not open the (single-process) store.
 	if args[0] == "health" {
 		if len(args) < 2 {
 			log.Fatal("reputectl: health needs a server base URL")
 		}
 		cmdHealth(args[1])
+		return
+	}
+	if args[0] == "metrics" {
+		if len(args) < 2 {
+			log.Fatal("reputectl: metrics needs a server base URL")
+		}
+		filter := ""
+		if len(args) >= 3 {
+			filter = args[2]
+		}
+		cmdMetrics(args[1], filter)
+		return
+	}
+	if args[0] == "trace" {
+		if len(args) < 2 {
+			log.Fatal("reputectl: trace needs a server base URL")
+		}
+		cmdTrace(args[1])
 		return
 	}
 	if args[0] == "loadstatus" {
@@ -332,13 +355,100 @@ func cmdHealth(base string) {
 	fmt.Printf("digest:    %016x\n", rs.Digest)
 	if len(rs.Replicas) == 0 {
 		fmt.Println("replicas:  none tracked")
+	} else {
+		fmt.Println("replicas:")
+		for _, r := range rs.Replicas {
+			fmt.Printf("  %-20s ack-seq %-8d lag %-6d snapshots %-3d last poll %s\n",
+				r.ID, r.AckSeq, r.Lag, r.Snapshots, r.LastPoll)
+		}
+	}
+
+	printRequestRates(cl, base)
+}
+
+// rateSampleGap separates the two /metrics samples the request- and
+// error-rate figures are computed from.
+const rateSampleGap = time.Second
+
+// printRequestRates samples /metrics twice and prints the request rate
+// and error rate over the gap. Servers without /metrics (older builds,
+// or telemetry disabled) are skipped silently — health must keep
+// working against them.
+func printRequestRates(cl *http.Client, base string) {
+	first, err := fetchText(cl, base+wire.PathMetrics)
+	if err != nil {
 		return
 	}
-	fmt.Println("replicas:")
-	for _, r := range rs.Replicas {
-		fmt.Printf("  %-20s ack-seq %-8d lag %-6d snapshots %-3d last poll %s\n",
-			r.ID, r.AckSeq, r.Lag, r.Snapshots, r.LastPoll)
+	time.Sleep(rateSampleGap)
+	second, err := fetchText(cl, base+wire.PathMetrics)
+	if err != nil {
+		return
 	}
+	t1, e1 := sumRequestTotals(first)
+	t2, e2 := sumRequestTotals(second)
+	secs := rateSampleGap.Seconds()
+	dt, de := t2-t1, e2-e1
+	fmt.Printf("req-rate:  %.1f/s (over %s)\n", dt/secs, rateSampleGap)
+	if dt > 0 {
+		fmt.Printf("err-rate:  %.1f%% 5xx\n", 100*de/dt)
+	} else {
+		fmt.Println("err-rate:  n/a (no requests in sample window)")
+	}
+}
+
+// sumRequestTotals adds up reputation_http_requests_total across every
+// label combination, returning the grand total and the 5xx share.
+func sumRequestTotals(text string) (total, errors5xx float64) {
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "reputation_http_requests_total") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		total += v
+		if strings.Contains(line, `code="5xx"`) {
+			errors5xx += v
+		}
+	}
+	return total, errors5xx
+}
+
+// cmdMetrics dumps a running server's /metrics page, optionally keeping
+// only the lines (and family headers) containing filter.
+func cmdMetrics(base, filter string) {
+	base = strings.TrimRight(base, "/")
+	cl := &http.Client{Timeout: 5 * time.Second}
+	text, err := fetchText(cl, base+wire.PathMetrics)
+	if err != nil {
+		log.Fatalf("reputectl: metrics: %v", err)
+	}
+	if filter == "" {
+		fmt.Print(text)
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.Contains(line, filter) {
+			fmt.Println(line)
+		}
+	}
+}
+
+// cmdTrace dumps a running server's /trace page: the ring of recent
+// slow or errored requests, newest first, with their request IDs.
+func cmdTrace(base string) {
+	base = strings.TrimRight(base, "/")
+	cl := &http.Client{Timeout: 5 * time.Second}
+	text, err := fetchText(cl, base+wire.PathTrace)
+	if err != nil {
+		log.Fatalf("reputectl: trace: %v", err)
+	}
+	fmt.Print(text)
 }
 
 // cmdLoadStatus queries a running server's /healthz and prints its load
@@ -432,6 +542,23 @@ func cmdJournal(path string) {
 			fmt.Printf("   %s %q (%d bytes)\n", verb, op.Key, len(op.Val))
 		}
 	}
+}
+
+// fetchText GETs url and returns the body as text.
+func fetchText(cl *http.Client, url string) (string, error) {
+	resp, err := cl.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("http %s", resp.Status)
+	}
+	var b strings.Builder
+	if _, err := io.Copy(&b, resp.Body); err != nil {
+		return "", err
+	}
+	return b.String(), nil
 }
 
 // fetchXML GETs url and decodes the XML document into out.

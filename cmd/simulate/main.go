@@ -203,6 +203,13 @@ func experiments() []experiment {
 			}
 			return simulation.RunWirePerf(cfg)
 		}},
+		{"e24", "E24: production telemetry — instrumentation overhead and metrics-only incident diagnosis", func(seed int64, quick bool) (fmt.Stringer, error) {
+			cfg := simulation.DefaultTelemetryConfig(seed)
+			if quick {
+				cfg = simulation.QuickTelemetryConfig(seed)
+			}
+			return simulation.RunTelemetry(cfg)
+		}},
 	}
 }
 
@@ -249,6 +256,9 @@ func main() {
 	}
 	if want["wireperf"] {
 		want["e23"] = true
+	}
+	if want["telemetry"] {
+		want["e24"] = true
 	}
 
 	matched := 0

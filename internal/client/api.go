@@ -20,6 +20,7 @@ import (
 
 	"softreputation/internal/core"
 	"softreputation/internal/resilience"
+	"softreputation/internal/telemetry"
 	"softreputation/internal/wire"
 )
 
@@ -102,8 +103,33 @@ func WithPriority(ctx context.Context, priority string) context.Context {
 	return context.WithValue(ctx, priorityKey{}, priority)
 }
 
-// do runs fn under the resilience executor when one is installed.
+// requestIDKey carries the logical call's request ID on the context.
+type requestIDKey struct{}
+
+// WithRequestID returns a context whose API requests carry the given
+// request ID in the X-Reputation-Request-Id header. Without it, every
+// logical call mints its own. Like the priority header, the ID is a
+// property of the logical request: retries, failover sweeps, and
+// redirect follow-ups all present the same ID, so the server-side
+// traces of one decision join into one story.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestIDFrom returns the context's request ID, "" when absent.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// do runs fn under the resilience executor when one is installed. It
+// is the logical-call boundary, so this is where a request ID is
+// minted when the caller did not supply one — outside the executor,
+// so every attempt of the call carries the same ID.
 func (a *API) do(ctx context.Context, fn func(ctx context.Context) error) error {
+	if requestIDFrom(ctx) == "" {
+		ctx = WithRequestID(ctx, telemetry.NewRequestID())
+	}
 	if a.exec != nil {
 		return a.exec.Do(ctx, fn)
 	}
@@ -132,6 +158,9 @@ func (a *API) roundTrip(ctx context.Context, base, path string, body []byte, res
 	}
 	if p, ok := ctx.Value(priorityKey{}).(string); ok && p != "" {
 		req.Header.Set(wire.HeaderPriority, p)
+	}
+	if id := requestIDFrom(ctx); id != "" {
+		req.Header.Set(wire.HeaderRequestID, id)
 	}
 	if a.failover != nil {
 		// Carry the highest epoch we have seen: a deposed primary fences

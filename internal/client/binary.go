@@ -111,6 +111,9 @@ func (a *API) binaryRoundTrip(ctx context.Context, base, path string, frame []by
 	if p, ok := ctx.Value(priorityKey{}).(string); ok && p != "" {
 		req.Header.Set(wire.HeaderPriority, p)
 	}
+	if id := requestIDFrom(ctx); id != "" {
+		req.Header.Set(wire.HeaderRequestID, id)
+	}
 	if a.failover != nil {
 		if e := a.failover.Epoch(); e > 0 {
 			req.Header.Set(wire.HeaderEpoch, strconv.FormatUint(e, 10))

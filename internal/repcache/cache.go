@@ -63,6 +63,9 @@ type Stats struct {
 	Collapsed uint64
 	// Invalidations counts Invalidate and InvalidateAll calls.
 	Invalidations uint64
+	// Evicted counts entries pushed out by the capacity bound (LRU
+	// tail drops; invalidations are counted separately).
+	Evicted uint64
 	// Entries is the current number of cached reports.
 	Entries int
 }
@@ -101,7 +104,7 @@ type Cache struct {
 
 	flights map[string]*flight
 
-	hits, misses, stored, rejected, collapsed, invalidations uint64
+	hits, misses, stored, rejected, collapsed, invalidations, evicted uint64
 }
 
 // New creates a cache holding at most capacity entries; capacity <= 0
@@ -240,6 +243,7 @@ func (c *Cache) storeLocked(owner, key string, data []byte) {
 	keys[key] = e
 	for c.lru.Len() > c.cap {
 		tail := c.lru.Back()
+		c.evicted++
 		c.removeLocked(tail.Value.(*entry))
 	}
 }
@@ -309,6 +313,7 @@ func (c *Cache) Stats() Stats {
 		Rejected:      c.rejected,
 		Collapsed:     c.collapsed,
 		Invalidations: c.invalidations,
+		Evicted:       c.evicted,
 		Entries:       len(c.entries),
 	}
 }

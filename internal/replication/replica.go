@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"softreputation/internal/storedb"
+	"softreputation/internal/telemetry"
 	"softreputation/internal/wire"
 )
 
@@ -84,6 +85,11 @@ type Replica struct {
 	// lazily allocates a memory-only journal, so displaced batches are
 	// never dropped even when no journal was wired up.
 	Journal *RecoveryJournal
+	// Logger receives structured events for the moments an operator
+	// must be able to reconstruct afterwards: divergence repair,
+	// quarantine, snapshot bootstraps, stale-primary rejections. A nil
+	// logger is silent (every Logger method is nil-safe).
+	Logger *telemetry.Logger
 
 	primarySeq    atomic.Uint64 // last X-Primary-Seq seen
 	primaryDigest atomic.Uint64 // digest paired with primarySeq
@@ -125,6 +131,33 @@ func (rep *Replica) Stats() Stats {
 		QuarantinedBatches: rep.quarantined.Load(),
 		StaleRejects:       rep.staleRejects.Load(),
 	}
+}
+
+// RegisterMetrics exposes the replica's counters through reg, bridged
+// as scrape-time closures so the pull loop pays nothing. Names are
+// disjoint from the server-side reputation_replication_* gauges, so a
+// replica daemon can register both into one shared registry.
+func (rep *Replica) RegisterMetrics(reg *telemetry.Registry) {
+	for _, c := range []struct {
+		name, help string
+		get        func() uint64
+	}{
+		{"reputation_replication_pulls_total", "WAL pull requests issued.", rep.pulls.Load},
+		{"reputation_replication_batches_applied_total", "WAL batches applied locally.", rep.batchesApplied.Load},
+		{"reputation_replication_snapshot_bootstraps_total", "Full snapshot restores.", rep.snapshotBootstraps.Load},
+		{"reputation_replication_resumes_total", "Pull streams resumed after an error or partition.", rep.resumes.Load},
+		{"reputation_replication_crc_failures_total", "Frames or snapshots rejected by checksum.", rep.crcFailures.Load},
+		{"reputation_replication_pull_errors_total", "Failed pull attempts.", rep.errored.Load},
+		{"reputation_replication_divergences_total", "Times local history forked from the primary's.", rep.diverged.Load},
+		{"reputation_replication_truncations_total", "Divergences repaired by rewinding the local tail.", rep.truncations.Load},
+		{"reputation_replication_quarantined_batches_total", "Displaced batches preserved in the recovery journal.", rep.quarantined.Load},
+		{"reputation_replication_stale_rejects_total", "Pulls refused because the primary's epoch was stale.", rep.staleRejects.Load},
+	} {
+		reg.CounterFunc(c.name, c.help, nil, c.get)
+	}
+	reg.GaugeFunc("reputation_replication_pull_lag",
+		"Batches behind the last primary position this replica observed.", nil,
+		func() float64 { return float64(rep.Lag()) })
 }
 
 // journal returns the configured journal, lazily allocating a
@@ -186,6 +219,8 @@ func (rep *Replica) Sync(ctx context.Context) error {
 		if rep.lastErrored {
 			rep.lastErrored = false
 			rep.resumes.Add(1)
+			rep.Logger.Info("replication stream resumed",
+				"replica", rep.ID, "seq", rep.DB.Seq(), "lag", rep.Lag())
 		}
 		if caughtUp || (n == 0 && rep.Lag() == 0) {
 			return nil
@@ -271,6 +306,10 @@ func (rep *Replica) pullOnce(ctx context.Context) (applied int, caughtUp bool, e
 		return 0, false, err
 	}
 	req.Header.Set(wire.HeaderEpoch, strconv.FormatUint(rep.epochFloor(), 10))
+	// Each pull is one logical operation: give it a fresh request ID so
+	// the primary's trace and this replica's log can be joined on it.
+	reqID := telemetry.NewRequestID()
+	req.Header.Set(wire.HeaderRequestID, reqID)
 	resp, err := rep.client().Do(req)
 	if err != nil {
 		return 0, false, fmt.Errorf("replication: pull: %w", err)
@@ -295,6 +334,9 @@ func (rep *Replica) pullOnce(ctx context.Context) (applied int, caughtUp bool, e
 		// the reply.
 		if pe < rep.epochFloor() {
 			rep.staleRejects.Add(1)
+			rep.Logger.Warn("rejected pull from stale primary",
+				"replica", rep.ID, "request_id", reqID,
+				"primary_epoch", pe, "observed_epoch", rep.epochFloor())
 			return 0, false, fmt.Errorf("%w: primary at epoch %d, observed %d",
 				ErrStalePrimary, pe, rep.epochFloor())
 		}
@@ -327,6 +369,10 @@ func (rep *Replica) pullOnce(ctx context.Context) (applied int, caughtUp bool, e
 		if primarySeq < localSeq ||
 			(primarySeq == localSeq && rep.primaryDigest.Load() != localDigest) {
 			io.Copy(io.Discard, resp.Body)
+			rep.Logger.Warn("history diverged from primary",
+				"replica", rep.ID, "request_id", reqID,
+				"local_seq", localSeq, "primary_seq", primarySeq,
+				"primary_epoch", primaryEpoch)
 			return 0, false, rep.resync(ctx, primaryEpoch, primarySeq)
 		}
 	}
@@ -367,6 +413,9 @@ func (rep *Replica) pullOnce(ctx context.Context) (applied int, caughtUp bool, e
 		// local tail never mixes with new-epoch writes.
 		if local := rep.DB.ChainDigest(); local != prevDigest {
 			io.Copy(io.Discard, resp.Body)
+			rep.Logger.Warn("frame predecessor digest mismatch; history diverged",
+				"replica", rep.ID, "request_id", reqID,
+				"seq", b.Seq, "primary_epoch", primaryEpoch)
 			return applied, false, rep.resync(ctx, primaryEpoch, primarySeq)
 		}
 		if aerr := rep.DB.ApplyBatch(b); aerr != nil {
@@ -433,6 +482,9 @@ func (rep *Replica) resync(ctx context.Context, primaryEpoch, primarySeq uint64)
 		removed, err := rep.DB.TruncateTail(common)
 		if err == nil {
 			rep.truncations.Add(1)
+			rep.Logger.Info("repaired divergence by truncating local tail",
+				"replica", rep.ID, "common_seq", common, "removed_batches", len(removed),
+				"primary_epoch", primaryEpoch)
 			if qerr := rep.quarantine(ackedEpoch, primaryEpoch, removed); qerr != nil {
 				return qerr
 			}
@@ -469,6 +521,9 @@ func (rep *Replica) quarantine(ackedEpoch, supersededBy uint64, batches []stored
 		return fmt.Errorf("replication: quarantine %d batches: %w", len(batches), err)
 	}
 	rep.quarantined.Add(uint64(len(batches)))
+	rep.Logger.Warn("quarantined displaced batches to recovery journal",
+		"replica", rep.ID, "batches", len(batches),
+		"acked_epoch", ackedEpoch, "superseded_by", supersededBy)
 	return nil
 }
 
@@ -507,6 +562,7 @@ func (rep *Replica) bootstrap(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	req.Header.Set(wire.HeaderRequestID, telemetry.NewRequestID())
 	resp, err := rep.client().Do(req)
 	if err != nil {
 		return fmt.Errorf("replication: snapshot: %w", err)
@@ -536,5 +592,7 @@ func (rep *Replica) bootstrap(ctx context.Context) error {
 		return fmt.Errorf("replication: install snapshot: %w", err)
 	}
 	rep.snapshotBootstraps.Add(1)
+	rep.Logger.Info("bootstrapped from primary snapshot",
+		"replica", rep.ID, "seq", rep.DB.Seq(), "epoch", rep.DB.Epoch())
 	return nil
 }

@@ -1,0 +1,38 @@
+package resilience
+
+import "softreputation/internal/telemetry"
+
+// RegisterMetrics exposes an executor's (and its breaker's) counters
+// through reg, bridged as scrape-time closures so Do pays nothing.
+// The name label distinguishes multiple executors registered into one
+// registry (a daemon guarding several dependencies).
+func (e *Executor) RegisterMetrics(reg *telemetry.Registry, name string) {
+	lbl := telemetry.L("executor", name)
+	for _, c := range []struct {
+		metric, help string
+		get          func(ExecutorStats) int
+	}{
+		{"reputation_resilience_calls_total", "Logical calls run under the executor.",
+			func(s ExecutorStats) int { return s.Calls }},
+		{"reputation_resilience_attempts_total", "Underlying operation attempts.",
+			func(s ExecutorStats) int { return s.Attempts }},
+		{"reputation_resilience_retries_total", "Attempts that were repeats.",
+			func(s ExecutorStats) int { return s.Retries }},
+		{"reputation_resilience_fast_fails_total", "Calls rejected by the open breaker.",
+			func(s ExecutorStats) int { return s.FastFails }},
+		{"reputation_resilience_failures_total", "Calls that exhausted every attempt.",
+			func(s ExecutorStats) int { return s.Failures }},
+	} {
+		get := c.get
+		reg.CounterFunc(c.metric, c.help, lbl,
+			func() uint64 { return uint64(get(e.Stats())) })
+	}
+	if b := e.breaker; b != nil {
+		reg.GaugeFunc("reputation_resilience_breaker_state",
+			"Breaker position: 0 closed, 1 open, 2 half-open.", lbl,
+			func() float64 { return float64(b.State()) })
+		reg.CounterFunc("reputation_resilience_breaker_opens_total",
+			"Times the circuit tripped open.", lbl,
+			func() uint64 { return uint64(b.Stats().Opens) })
+	}
+}

@@ -1,0 +1,49 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"softreputation/internal/telemetry"
+	"softreputation/internal/vclock"
+)
+
+func TestRegisterMetrics(t *testing.T) {
+	clock := vclock.NewVirtual(vclock.Epoch)
+	br := NewBreaker(2, time.Hour, clock)
+	exec := NewExecutor(Policy{MaxAttempts: 2}, br, clock, 1)
+
+	reg := telemetry.NewRegistry()
+	exec.RegisterMetrics(reg, "primary")
+	if problems := reg.Lint(); len(problems) != 0 {
+		t.Fatalf("lint: %v", problems)
+	}
+
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		_ = exec.Do(context.Background(), func(context.Context) error { return boom })
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// Call 1 burns both attempts and trips the breaker (threshold 2);
+	// call 2 is fast-failed by the open circuit.
+	for _, want := range []string{
+		`reputation_resilience_calls_total{executor="primary"} 2`,
+		`reputation_resilience_retries_total{executor="primary"} 1`,
+		`reputation_resilience_fast_fails_total{executor="primary"} 1`,
+		`reputation_resilience_breaker_state{executor="primary"} 1`,
+		`reputation_resilience_breaker_opens_total{executor="primary"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}

@@ -167,6 +167,7 @@ func (s *Server) handleLookupBatch(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, true, err)
 		return
 	}
+	s.tel.binaryFrameIn(len(body))
 	var infos []wire.SoftwareInfo
 	var feeds []string
 	payload, err := splitWholeBinaryBody(body)
@@ -174,15 +175,19 @@ func (s *Server) handleLookupBatch(w http.ResponseWriter, r *http.Request) {
 		infos, feeds, err = wire.DecodeBinaryLookupBatch(payload)
 	}
 	if err != nil {
+		s.tel.binaryMalformed()
 		writeBadRequest(w, true, err)
 		return
 	}
 	fast := s.fastLookup.Load()
 	lean := (s.admit != nil && s.admit.Level() >= admission.LevelCacheOnly) || s.storageFailed()
+	s.tel.batchServed(len(infos))
 	w.Header().Set("Content-Type", wire.BinaryContentType)
 	flusher, _ := w.(http.Flusher)
 	for _, info := range infos {
-		_, _ = w.Write(s.batchEntryFrame(info, feeds, fast, lean))
+		frame := s.batchEntryFrame(info, feeds, fast, lean)
+		s.tel.binaryFrameOut(len(frame))
+		_, _ = w.Write(frame)
 		if flusher != nil {
 			flusher.Flush()
 		}

@@ -36,6 +36,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc(wire.PathStats, s.handleStats)
 	mux.HandleFunc(wire.PathHealthz, s.handleHealthz)
 	mux.HandleFunc(wire.PathReplStatus, s.handleReplStatus)
+	if s.tel != nil {
+		mux.HandleFunc(wire.PathMetrics, s.handleMetrics)
+		mux.HandleFunc(wire.PathTrace, s.handleTrace)
+	}
 	if pub := s.cfg.Publisher; pub != nil {
 		mux.HandleFunc(wire.PathReplSnapshot, pub.ServeSnapshot)
 		mux.HandleFunc(wire.PathReplWAL, pub.ServeWAL)
@@ -287,6 +291,9 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, isBin, err)
 		return
 	}
+	if isBin {
+		s.tel.binaryFrameIn(len(body))
+	}
 	// Wire-level fast path: an identical request produces an identical
 	// report, so a repeated body serves the cached pre-encoded bytes
 	// without even parsing the request. Entries are owned by the
@@ -296,6 +303,9 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	bodyKeyed := fast && len(body) <= maxCachedLookupRequest
 	if bodyKeyed {
 		if data, ok := s.reports.Probe(repcache.FormatKey(format, string(body))); ok {
+			if isBin {
+				s.tel.binaryFrameOut(len(data))
+			}
 			writeNegotiated(w, isBin, data)
 			return
 		}
@@ -307,6 +317,9 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		err = wire.Decode(bytes.NewReader(body), &req)
 	}
 	if err != nil {
+		if isBin {
+			s.tel.binaryMalformed()
+		}
 		writeBadRequest(w, isBin, err)
 		return
 	}
@@ -351,6 +364,9 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErrorNegotiated(w, isBin, err)
 		return
+	}
+	if isBin {
+		s.tel.binaryFrameOut(len(data))
 	}
 	writeNegotiated(w, isBin, data)
 }
@@ -456,9 +472,11 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 	if isBin {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err == nil {
+			s.tel.binaryFrameIn(len(body))
 			req, err = decodeBinaryVoteBody(body)
 		}
 		if err != nil {
+			s.tel.binaryMalformed()
 			writeBadRequest(w, true, err)
 			return
 		}
@@ -481,7 +499,9 @@ func (s *Server) handleVote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if isBin {
-		writeNegotiated(w, true, wire.EncodeBinaryVoteAck(&wire.VoteResponse{CommentID: commentID}))
+		ack := wire.EncodeBinaryVoteAck(&wire.VoteResponse{CommentID: commentID})
+		s.tel.binaryFrameOut(len(ack))
+		writeNegotiated(w, true, ack)
 		return
 	}
 	writeXML(w, wire.VoteResponse{CommentID: commentID})

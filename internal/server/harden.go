@@ -113,10 +113,12 @@ func writeOverloaded(w http.ResponseWriter, retryAfter time.Duration, msg string
 }
 
 // bypassAdmission reports whether a path skips the admission gate: the
-// health endpoints must stay observable precisely when the server is
-// shedding, or operators lose sight of the overload they are debugging.
+// health and observability endpoints must stay reachable precisely when
+// the server is shedding, or operators lose sight of the overload they
+// are debugging.
 func bypassAdmission(path string) bool {
-	return path == wire.PathHealthz || path == wire.PathReplStatus
+	return path == wire.PathHealthz || path == wire.PathReplStatus ||
+		path == wire.PathMetrics || path == wire.PathTrace
 }
 
 // classifyRequest maps a request onto its admission class. The path
@@ -264,10 +266,13 @@ func (s *Server) delayMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// harden wraps the raw mux in the epoch, shed, and timeout layers. The
-// epoch layer sits outermost so even shed requests fence a stale
-// primary; the shed gate next, so a drained or overloaded server
-// answers without burning a handler slot.
+// harden wraps the raw mux in the observation, epoch, shed, and timeout
+// layers. Observation sits outermost so shed and fenced refusals are
+// counted, timed, and traced like any other response; the epoch layer
+// next so even shed requests fence a stale primary; the shed gate after
+// that, so a drained or overloaded server answers without burning a
+// handler slot.
 func (s *Server) harden(next http.Handler) http.Handler {
-	return s.epochMiddleware(s.shedMiddleware(s.timeoutMiddleware(s.delayMiddleware(next))))
+	return s.observeMiddleware(
+		s.epochMiddleware(s.shedMiddleware(s.timeoutMiddleware(s.delayMiddleware(next)))))
 }

@@ -20,6 +20,7 @@ import (
 	"softreputation/internal/repcache"
 	"softreputation/internal/repo"
 	"softreputation/internal/storedb"
+	"softreputation/internal/telemetry"
 	"softreputation/internal/vclock"
 )
 
@@ -114,6 +115,23 @@ type Config struct {
 	// "xml". It exists to stand in for a pre-binary deployment during a
 	// mixed-version rollout (and in the compat tests).
 	DisableBinary bool
+	// Telemetry, when set, is the metric registry the server registers
+	// into; nil creates a private one. The daemon passes a shared
+	// registry so process-level series (build info, uptime) and the
+	// server's families land on one /metrics page.
+	Telemetry *telemetry.Registry
+	// DisableTelemetry removes the observation middleware and the
+	// /metrics and /trace endpoints entirely — the E24 ablation arm
+	// measuring instrumentation overhead; production has no reason to
+	// set it.
+	DisableTelemetry bool
+	// TraceEvents sizes the notable-request ring; 0 selects
+	// telemetry.DefaultTraceEvents.
+	TraceEvents int
+	// TraceSlow is the latency at or above which a successful request
+	// is recorded in the trace ring; 0 selects
+	// telemetry.DefaultSlowThreshold.
+	TraceSlow time.Duration
 }
 
 // Server is the reputation server. It is safe for concurrent use.
@@ -147,6 +165,10 @@ type Server struct {
 	// cache, batched trust) — cleared only by the E19 ablation.
 	reports    *repcache.Cache
 	fastLookup atomic.Bool
+
+	// tel owns the metric registry and trace ring; nil when
+	// Config.DisableTelemetry is set (all its methods are nil-safe).
+	tel *serverTelemetry
 
 	mu        sync.Mutex
 	sessions  map[string]string // session token -> username
@@ -222,6 +244,13 @@ func New(cfg Config) (*Server, error) {
 	// Replication applies batches underneath the server; attribute each
 	// one to the cached reports it can affect.
 	cfg.Store.DB().SetApplyHook(srv.onReplicatedBatch)
+	if !cfg.DisableTelemetry {
+		reg := cfg.Telemetry
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		srv.tel = newServerTelemetry(srv, reg, cfg.TraceEvents, cfg.TraceSlow)
+	}
 	return srv, nil
 }
 

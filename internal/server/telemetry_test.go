@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"softreputation/internal/admission"
+	"softreputation/internal/repo"
+	"softreputation/internal/vclock"
+	"softreputation/internal/wire"
+)
+
+// newTelemetryFixture is a fully-wired server — admission control,
+// report cache, binary protocol — so the registry carries every family
+// the production daemon would export.
+func newTelemetryFixture(t *testing.T) *httpFixture {
+	t.Helper()
+	store := repo.OpenMemory()
+	t.Cleanup(func() { store.Close() })
+	s, err := New(Config{
+		Store:            store,
+		Clock:            vclock.NewVirtual(vclock.Epoch),
+		EmailPepper:      "pepper",
+		AdmissionControl: true,
+		TraceSlow:        50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return &httpFixture{t: t, srv: s, ts: ts, client: ts.Client()}
+}
+
+// TestMetricsLint is the metrics-lint gate run by make verify: a fully
+// wired server's registry must pass every naming and structure rule.
+func TestMetricsLint(t *testing.T) {
+	f := newTelemetryFixture(t)
+	reg := f.srv.Metrics()
+	if reg == nil {
+		t.Fatal("telemetry should be on by default")
+	}
+	if problems := reg.Lint(); len(problems) != 0 {
+		t.Fatalf("metrics lint failed:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+// TestMetricsEndpoint drives one request of traffic and checks that
+// /metrics serves the Prometheus text format with every subsystem
+// family present and the served request counted.
+func TestMetricsEndpoint(t *testing.T) {
+	f := newTelemetryFixture(t)
+	if err := f.post(wire.PathLookup, wire.LookupRequest{Software: wireMeta(7)}, nil); err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+
+	resp, err := f.client.Get(f.ts.URL + wire.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		// One family per instrumented subsystem (the acceptance list).
+		"reputation_http_requests_total",
+		"reputation_http_request_seconds_bucket",
+		"reputation_admission_requests_total",
+		"reputation_admission_limit",
+		"reputation_repcache_misses_total",
+		"reputation_storedb_wal_bytes_total",
+		"reputation_replication_lag",
+		"reputation_resilience_shed_total",
+		"reputation_wire_binary_frames_total",
+		// The one lookup that was served.
+		`reputation_http_requests_total{endpoint="lookup",format="xml",code="2xx"} 1`,
+		// Its admission decision.
+		`reputation_admission_requests_total{class="interactive",outcome="admitted"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Exposition structure: every family announced exactly once.
+	if got := strings.Count(text, "# TYPE reputation_http_requests_total "); got != 1 {
+		t.Errorf("TYPE line for requests_total appears %d times", got)
+	}
+}
+
+// TestMetricsCountsBinaryWire drives a binary lookup and a malformed
+// binary frame, then checks the wire family moved.
+func TestMetricsCountsBinaryWire(t *testing.T) {
+	f := newTelemetryFixture(t)
+	resp := f.postBinary(wire.PathLookup, wire.EncodeBinaryLookup(&wire.LookupRequest{Software: wireMeta(9)}))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary lookup status = %d", resp.StatusCode)
+	}
+	bad := f.postBinary(wire.PathLookup, []byte("not a frame"))
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed frame status = %d", bad.StatusCode)
+	}
+
+	var buf bytes.Buffer
+	if err := f.srv.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`reputation_wire_binary_frames_total{dir="in"} 2`,
+		`reputation_wire_binary_frames_total{dir="out"} 1`,
+		"reputation_wire_malformed_frames_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestRequestIDEchoAndTrace checks the request-ID contract on the
+// server side: a valid inbound ID is echoed back, an absent one is
+// minted, and an errored request lands in /trace under its ID.
+func TestRequestIDEchoAndTrace(t *testing.T) {
+	f := newTelemetryFixture(t)
+
+	// Minted: no inbound header, response carries a fresh valid ID.
+	resp, err := f.client.Get(f.ts.URL + wire.PathHealthz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if id := resp.Header.Get(wire.HeaderRequestID); id == "" || len(id) != 16 {
+		t.Fatalf("minted request id = %q", id)
+	}
+
+	// Adopted: a client-supplied ID comes back verbatim, and the 400
+	// this malformed lookup earns is traced under it.
+	const reqID = "trace-me-42"
+	req, _ := http.NewRequest(http.MethodPost, f.ts.URL+wire.PathLookup, strings.NewReader("not xml"))
+	req.Header.Set("Content-Type", wire.ContentType)
+	req.Header.Set(wire.HeaderRequestID, reqID)
+	resp, err = f.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed lookup status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(wire.HeaderRequestID); got != reqID {
+		t.Fatalf("echoed request id = %q, want %q", got, reqID)
+	}
+
+	// Injection defense: a hostile header value is replaced, never echoed.
+	req, _ = http.NewRequest(http.MethodGet, f.ts.URL+wire.PathHealthz, nil)
+	req.Header.Set(wire.HeaderRequestID, `evil" msg="spoofed`)
+	resp, err = f.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(wire.HeaderRequestID); strings.Contains(got, `"`) || got == "" {
+		t.Fatalf("hostile request id echoed as %q", got)
+	}
+
+	// The trace ring has the 400 under the adopted ID.
+	tr, err := f.client.Get(f.ts.URL + wire.PathTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status = %d", tr.StatusCode)
+	}
+	body, _ := io.ReadAll(tr.Body)
+	text := string(body)
+	if !strings.Contains(text, "id="+reqID) || !strings.Contains(text, "status=400") {
+		t.Fatalf("/trace missing the traced 400:\n%s", text)
+	}
+}
+
+// TestMetricsBypassesAdmission forces the brownout ladder to its
+// harshest level and checks the scrape still answers — observability
+// must survive the overload it exists to explain.
+func TestMetricsBypassesAdmission(t *testing.T) {
+	f := newTelemetryFixture(t)
+	f.srv.Admission().SetLevel(admission.LevelCriticalOnly)
+	resp, err := f.client.Get(f.ts.URL + wire.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics under brownout status = %d", resp.StatusCode)
+	}
+}
+
+// TestDisableTelemetry checks the E24 ablation arm: no /metrics, no
+// /trace, no request-ID echo, nil accessors.
+func TestDisableTelemetry(t *testing.T) {
+	store := repo.OpenMemory()
+	t.Cleanup(func() { store.Close() })
+	s, err := New(Config{
+		Store:            store,
+		Clock:            vclock.NewVirtual(vclock.Epoch),
+		EmailPepper:      "pepper",
+		DisableTelemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics() != nil || s.Trace() != nil {
+		t.Fatal("accessors should be nil with telemetry disabled")
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := ts.Client().Get(ts.URL + wire.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("/metrics should not exist with telemetry disabled")
+	}
+	if id := resp.Header.Get(wire.HeaderRequestID); id != "" {
+		t.Fatalf("request id echoed with telemetry disabled: %q", id)
+	}
+}

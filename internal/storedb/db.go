@@ -112,6 +112,7 @@ type DB struct {
 	walGroups  atomic.Uint64 // commit groups flushed
 	walBatches atomic.Uint64 // batches flushed across all groups
 	walFsyncs  atomic.Uint64 // WAL fsyncs issued
+	walBytes   atomic.Uint64 // bytes appended durably to the WAL
 	reopens    atomic.Uint64 // successful Reopen recoveries
 
 	replMu   sync.Mutex // guards recent, commitC, chainSeq
@@ -414,11 +415,13 @@ func (db *DB) flushGroupLocked(g *commitGroup) {
 		return
 	}
 	if db.wal != nil {
-		if err := db.wal.appendGroup(g.batches); err != nil {
+		n, err := db.wal.appendGroup(g.batches)
+		if err != nil {
 			db.fail(err)
 			g.err = db.failedErr()
 			return
 		}
+		db.walBytes.Add(uint64(n))
 		if db.opts.SyncWrites {
 			db.walFsyncs.Add(1)
 		}
@@ -498,6 +501,8 @@ type StorageHealth struct {
 	// Fsyncs counts WAL fsyncs issued; Fsyncs/Batches is the amortized
 	// fsync cost per write.
 	Fsyncs uint64
+	// WALBytes counts bytes appended durably to the WAL since open.
+	WALBytes uint64
 }
 
 // Failed reports whether the database is in the sticky failed
@@ -508,11 +513,12 @@ func (db *DB) Failed() bool { return db.failed.Load() }
 // Health returns a snapshot of the storage health counters.
 func (db *DB) Health() StorageHealth {
 	h := StorageHealth{
-		Failed:  db.failed.Load(),
-		Reopens: db.reopens.Load(),
-		Groups:  db.walGroups.Load(),
-		Batches: db.walBatches.Load(),
-		Fsyncs:  db.walFsyncs.Load(),
+		Failed:   db.failed.Load(),
+		Reopens:  db.reopens.Load(),
+		Groups:   db.walGroups.Load(),
+		Batches:  db.walBatches.Load(),
+		Fsyncs:   db.walFsyncs.Load(),
+		WALBytes: db.walBytes.Load(),
 	}
 	if h.Failed {
 		db.failMu.Lock()

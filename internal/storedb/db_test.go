@@ -497,7 +497,7 @@ func TestWalReplaySkipsStaleSeq(t *testing.T) {
 	}
 	for seq := uint64(1); seq <= 3; seq++ {
 		b := walBatch{seq: seq, ops: []walOp{{op: opPut, key: []byte{byte(seq)}, val: []byte("v")}}}
-		if err := w.appendGroup([]walBatch{b}); err != nil {
+		if _, err := w.appendGroup([]walBatch{b}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -100,10 +100,12 @@ func (db *DB) BumpEpoch() (uint64, error) {
 	wb := walBatch{seq: seq, ops: []walOp{{op: opPut, key: epochKey(), val: val[:]}}}
 
 	if db.wal != nil {
-		if err := db.wal.appendGroup([]walBatch{wb}); err != nil {
+		n, err := db.wal.appendGroup([]walBatch{wb})
+		if err != nil {
 			db.fail(err)
 			return 0, db.failedErr()
 		}
+		db.walBytes.Add(uint64(n))
 		if !db.opts.SyncWrites {
 			if err := db.wal.syncNow(); err != nil {
 				db.fail(err)

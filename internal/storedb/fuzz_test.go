@@ -64,7 +64,7 @@ func pristineWal(t testing.TB, n int) (data []byte, frameEnds []int64) {
 		b := walBatch{seq: uint64(seq), ops: []walOp{
 			{op: opPut, key: []byte(fmt.Sprintf("key-%03d", seq)), val: []byte(fmt.Sprintf("val-%03d", seq))},
 		}}
-		if err := w.appendGroup([]walBatch{b}); err != nil {
+		if _, err := w.appendGroup([]walBatch{b}); err != nil {
 			t.Fatal(err)
 		}
 		frameEnds = append(frameEnds, w.off)
@@ -133,7 +133,7 @@ func checkPrefixProperty(t testing.TB, mutated []byte, committed int, mustStartA
 		t.Fatalf("reopen after truncate: %v", err)
 	}
 	cont := walBatch{seq: lastSeq + 1, ops: []walOp{{op: opPut, key: []byte("cont"), val: []byte("v")}}}
-	if err := w.appendGroup([]walBatch{cont}); err != nil {
+	if _, err := w.appendGroup([]walBatch{cont}); err != nil {
 		t.Fatalf("append after truncate: %v", err)
 	}
 	w.close()

@@ -330,10 +330,12 @@ func (db *DB) ApplyBatch(b Batch) error {
 
 	wb := importBatch(b)
 	if db.wal != nil {
-		if err := db.wal.appendGroup([]walBatch{wb}); err != nil {
+		n, err := db.wal.appendGroup([]walBatch{wb})
+		if err != nil {
 			db.fail(err)
 			return db.failedErr()
 		}
+		db.walBytes.Add(uint64(n))
 		if db.opts.SyncWrites {
 			db.walFsyncs.Add(1)
 		}

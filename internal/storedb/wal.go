@@ -163,7 +163,7 @@ func openWalWriter(path string, sync bool) (*walWriter, error) {
 // the group-commit amortization. On any error the file is rewound to
 // the last good frame boundary: the whole group was reported as failed
 // and none of it may linger where recovery would resurrect it.
-func (w *walWriter) appendGroup(batches []walBatch) error {
+func (w *walWriter) appendGroup(batches []walBatch) (int, error) {
 	payloads := make([][]byte, len(batches))
 	size := 0
 	for i := range batches {
@@ -183,16 +183,16 @@ func (w *walWriter) appendGroup(batches []walBatch) error {
 		if err == nil {
 			err = fmt.Errorf("short write: %d of %d bytes", n, len(buf))
 		}
-		return fmt.Errorf("storedb: wal write: %w", err)
+		return 0, fmt.Errorf("storedb: wal write: %w", err)
 	}
 	if w.sync {
 		if err := fsSync(w.f, "wal"); err != nil {
 			w.rewind()
-			return fmt.Errorf("storedb: wal sync: %w", err)
+			return 0, fmt.Errorf("storedb: wal sync: %w", err)
 		}
 	}
 	w.off += int64(len(buf))
-	return nil
+	return len(buf), nil
 }
 
 // syncNow fsyncs the log regardless of the writer's sync mode. The

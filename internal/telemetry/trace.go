@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one remembered request: the outliers an operator asks
+// about ("what were the slow ones", "what exactly failed") without
+// attaching a debugger or replaying traffic.
+type TraceEvent struct {
+	// ID is the request's X-Reputation-Request-Id.
+	ID string
+	// Time is when the request completed.
+	Time time.Time
+	// Method and Path identify the endpoint.
+	Method string
+	Path   string
+	// Status is the HTTP status sent.
+	Status int
+	// Duration is the request's wall time through the whole middleware
+	// chain.
+	Duration time.Duration
+	// Detail carries context: the error code class, shed reason, etc.
+	Detail string
+}
+
+// TraceBuffer is a fixed-size ring of recent notable requests — those
+// slower than the threshold or answered with an error status. Writes
+// are O(1) under one mutex; the buffer never allocates after creation.
+type TraceBuffer struct {
+	mu    sync.Mutex
+	ring  []TraceEvent
+	next  int
+	total uint64
+	slow  time.Duration
+}
+
+// DefaultTraceEvents is the ring size a zero configuration gets.
+const DefaultTraceEvents = 256
+
+// DefaultSlowThreshold marks a request slow enough to remember.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// NewTraceBuffer creates a ring of n events recording requests slower
+// than slow or with status >= 400. n <= 0 selects DefaultTraceEvents;
+// slow <= 0 selects DefaultSlowThreshold.
+func NewTraceBuffer(n int, slow time.Duration) *TraceBuffer {
+	if n <= 0 {
+		n = DefaultTraceEvents
+	}
+	if slow <= 0 {
+		slow = DefaultSlowThreshold
+	}
+	return &TraceBuffer{ring: make([]TraceEvent, n), slow: slow}
+}
+
+// Notable reports whether a request with the given status and duration
+// would be recorded.
+func (t *TraceBuffer) Notable(status int, d time.Duration) bool {
+	return t != nil && (status >= 400 || d >= t.slow)
+}
+
+// Record remembers ev if it is notable; a nil buffer drops everything.
+func (t *TraceBuffer) Record(ev TraceEvent) {
+	if t == nil || !t.Notable(ev.Status, ev.Duration) {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = ev
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the recorded events, newest first.
+func (t *TraceBuffer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.ring))
+	for i := 1; i <= len(t.ring); i++ {
+		ev := t.ring[(t.next-i+len(t.ring))%len(t.ring)]
+		if ev.Time.IsZero() {
+			break
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Total returns how many notable requests were ever recorded (the ring
+// keeps only the most recent ones).
+func (t *TraceBuffer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// WriteText dumps the buffer newest-first as one line per event, the
+// format /trace serves and reputectl trace prints.
+func (t *TraceBuffer) WriteText(w io.Writer) error {
+	evs := t.Events()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %d notable request(s) recorded, %d retained\n", t.Total(), len(evs))
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "%s id=%s %s %s status=%d dur=%s",
+			ev.Time.UTC().Format(time.RFC3339Nano), ev.ID, ev.Method, ev.Path, ev.Status, ev.Duration)
+		if ev.Detail != "" {
+			fmt.Fprintf(&b, " detail=%s", quoteValue(ev.Detail))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

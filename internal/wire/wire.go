@@ -40,6 +40,15 @@ const (
 	PathReplDigest   = "/repl/digest"
 )
 
+// Observability paths. /metrics serves the Prometheus text exposition
+// and /trace the recent slow/errored-request ring; like the health
+// endpoints they bypass the admission gate, because visibility matters
+// most exactly when the server is shedding.
+const (
+	PathMetrics = "/metrics"
+	PathTrace   = "/trace"
+)
+
 // TimeFormat is how instants are serialised on the wire.
 const TimeFormat = time.RFC3339
 
@@ -100,6 +109,14 @@ const HeaderPriority = "X-Reputation-Priority"
 // the highest epoch the caller has observed, so a stale primary is
 // fenced by the first post-promotion request that reaches it.
 const HeaderEpoch = "X-Reputation-Epoch"
+
+// HeaderRequestID ties one logical request's hops together: the client
+// stamps a fresh ID per logical call and reuses it across retries,
+// failover sweeps, and redirect follows; the server adopts a valid
+// inbound ID (or mints one at ingress), echoes it on the response, and
+// records it in its request trace. Replication pulls carry one per
+// pull, so a replica-triggered primary request is attributable too.
+const HeaderRequestID = "X-Reputation-Request-Id"
 
 // HeaderAckSeq carries, on write responses, the primary's committed
 // sequence number after the write. Together with HeaderEpoch it makes
