@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet staticcheck race bench bench-smoke fuzz-smoke metrics-lint simulate verify
+.PHONY: build test vet staticcheck race bench bench-smoke fuzz-smoke metrics-lint scrub-smoke simulate verify
 
 build:
 	$(GO) build ./...
@@ -28,13 +28,15 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # bench-smoke runs the E19 lookup-throughput, E20 overload, E21
-# fault-grid, E22 partition-safety, E23 wire-protocol, and E24
-# telemetry benchmarks once each, as cheap regression tripwires for the
-# read-path fast lane, the admission layer, the group-commit write
-# pipeline, epoch-fenced failover, the binary wire protocol's speed and
-# byte claims, and the instrumentation-overhead budget.
+# fault-grid, E22 partition-safety, E23 wire-protocol, E24 telemetry,
+# and E25 self-healing-storage benchmarks once each, as cheap
+# regression tripwires for the read-path fast lane, the admission
+# layer, the group-commit write pipeline, epoch-fenced failover, the
+# binary wire protocol's speed and byte claims, the
+# instrumentation-overhead budget, and scrub detection + replica repair
+# + background-compaction commit tails.
 bench-smoke:
-	$(GO) test -run=NONE -bench='E19|E20|E21|E22|E23|E24' -benchtime=1x .
+	$(GO) test -run=NONE -bench='E19|E20|E21|E22|E23|E24|E25' -benchtime=1x .
 
 # metrics-lint checks every registered metric against the naming and
 # shape rules (counters end in _total, non-empty help, valid label
@@ -45,18 +47,27 @@ metrics-lint:
 
 # fuzz-smoke gives the fuzzers a short budget each: mutated WAL tails
 # (CRC flips, truncations, spliced frames) against the recovery prefix
-# property, and mutated binary wire frames (the same mutator
-# discipline) against the frame codec, on top of the deterministic
+# property, mutated checksummed snapshots (the same mutator discipline)
+# against the block decoder and the scrub verifier, and mutated binary
+# wire frames against the frame codec, on top of the deterministic
 # corpora the test suite always replays.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWALTail -fuzztime=15s ./internal/storedb
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshot -fuzztime=15s ./internal/storedb
 	$(GO) test -run='^$$' -fuzz=FuzzBinaryFrame -fuzztime=15s ./internal/wire
+
+# scrub-smoke runs the bit-flip corruption matrix (snapshot header /
+# snapshot block / WAL frame), the quarantine-and-restore path, and the
+# quick E25 scrub-and-repair grid under the race detector — the
+# self-healing storage gate.
+scrub-smoke:
+	$(GO) test -race -run='TestScrub|TestQuarantine|TestSnapshotFlip|TestSnapshotTruncation|TestOpenRemovesOrphanTemps|TestE25' ./internal/storedb ./internal/simulation
 
 simulate:
 	$(GO) run ./cmd/simulate -exp all -quick
 
 # verify is the gate for every change: tier-1 (build + test) plus vet,
-# staticcheck, the race detector, the metrics lint, the benchmark
-# smoke, and the WAL fuzz smoke.
-verify: build vet staticcheck race test metrics-lint bench-smoke fuzz-smoke
+# staticcheck, the race detector, the metrics lint, the scrub smoke,
+# the benchmark smoke, and the fuzz smoke.
+verify: build vet staticcheck race test metrics-lint scrub-smoke bench-smoke fuzz-smoke
 	@echo "verify: OK"

@@ -539,6 +539,48 @@ func BenchmarkE24TelemetryOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkE25SelfHealingStorage runs the full E25 grid: seeded bit
+// rot across {snapshot, wal} x {idle, commit-load, compaction}, online
+// scrub detection, and replica-sourced repair. Headline metrics:
+// undetected corruption and acked-write loss (both must be zero),
+// byte-identical convergence, and the commit-latency arms — p99 with
+// the background compactor must not carry the compaction stall the
+// on-commit baseline shows in its tail.
+func BenchmarkE25SelfHealingStorage(b *testing.B) {
+	var res simulation.ScrubRepairResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = simulation.RunScrubRepair(simulation.DefaultScrubRepairConfig(25))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Undetected()), "undetected-corruption")
+	b.ReportMetric(float64(res.TotalLostAcked()), "lost-acked-writes")
+	repaired := 0.0
+	if res.AllRepaired() {
+		repaired = 1
+	}
+	b.ReportMetric(repaired, "repaired-converged")
+	oc, bg := res.PerfArm("on-commit"), res.PerfArm("background")
+	b.ReportMetric(float64(oc.P99.Nanoseconds()), "on-commit-p99-ns")
+	b.ReportMetric(float64(bg.P99.Nanoseconds()), "background-p99-ns")
+	b.ReportMetric(float64(oc.Max.Nanoseconds()), "on-commit-max-ns")
+	b.ReportMetric(res.StallRatio, "commit-p99-stall-ratio-x")
+	if res.Undetected() != 0 {
+		b.Errorf("bit rot went undetected in %d cells, want 0", res.Undetected())
+	}
+	if res.TotalLostAcked() != 0 {
+		b.Errorf("lost %d acked writes through repair, want 0", res.TotalLostAcked())
+	}
+	if !res.AllRepaired() {
+		b.Errorf("not every cell repaired and converged: %+v", res.Cells)
+	}
+	if bg.P99 >= res.Config.CompactDelay {
+		b.Errorf("background commit p99 %v carries the %v compaction stall", bg.P99, res.Config.CompactDelay)
+	}
+}
+
 // BenchmarkE14StoredbIngest measures the substrate: rating-ingestion
 // throughput into the embedded store through the full repository path.
 func BenchmarkE14StoredbIngest(b *testing.B) {

@@ -74,6 +74,8 @@ func main() {
 	primaryURL := flag.String("primary", "", "primary base URL (required with -role replica)")
 	replicaID := flag.String("replica-id", "", "identifier reported to the primary's /replstatus (defaults to the listen address)")
 	replPoll := flag.Duration("repl-poll", time.Second, "how often a replica polls the primary's WAL")
+	scrubEvery := flag.Duration("scrub-every", 0, "online scrub interval: re-verify every durable checksum this often (0 disables)")
+	repairFrom := flag.String("repair-from", "", "healthy peer base URL to repair the store from when scrub detects corruption (replicas default to -primary)")
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stderr, telemetry.ParseLogLevel(*logLevel))
@@ -97,7 +99,7 @@ func main() {
 		fatal("unknown -role (want primary or replica)", "role", *role)
 	}
 
-	store, err := repo.Open(storedb.Options{Dir: *dataDir, SyncWrites: *sync})
+	store, err := repo.Open(storedb.Options{Dir: *dataDir, SyncWrites: *sync, ScrubEvery: *scrubEvery})
 	if err != nil {
 		fatal("open store failed", "dir", *dataDir, "err", err)
 	}
@@ -127,6 +129,12 @@ func main() {
 		}
 	}
 	var repl *replication.Replica
+	// Every role mounts the publisher endpoints: replicas serve
+	// /repl/snapshot and /repl/digest too, so a corrupt primary can
+	// repair itself from any healthy peer — not only the other way
+	// around.
+	pub := replication.NewPublisher(store.DB())
+	scfg.Publisher = pub
 	if isReplica {
 		id := *replicaID
 		if id == "" {
@@ -146,8 +154,6 @@ func main() {
 		scfg.PrimaryURL = *primaryURL
 		scfg.ReplicaSource = repl
 	} else {
-		pub := replication.NewPublisher(store.DB())
-		scfg.Publisher = pub
 		scfg.ReplicaTracker = pub
 	}
 	srv, err := server.New(scfg)
@@ -166,6 +172,28 @@ func main() {
 	// the supervisor is the way back, retrying reopen-with-verify under
 	// backoff until the device recovers or the operator intervenes.
 	go storedb.SuperviseReopen(ctx, store.DB(), time.Second, logger.Logf)
+
+	// Corruption fail-safe: when the scrubber (or any read path) flips
+	// the store into its sticky corrupt state, the repair supervisor
+	// quarantines the damaged files and restores from a healthy peer.
+	// Replicas repair from their primary by default; a primary needs
+	// -repair-from naming one of its replicas.
+	repairSource := *repairFrom
+	if repairSource == "" && isReplica {
+		repairSource = *primaryURL
+	}
+	if repairSource != "" {
+		repairer := &replication.Repairer{
+			DB:     store.DB(),
+			Source: repairSource,
+			ID:     *replicaID,
+			Logger: logger,
+		}
+		if srv.Metrics() != nil {
+			repairer.RegisterMetrics(srv.Metrics())
+		}
+		go replication.SuperviseRepair(ctx, repairer, time.Second)
+	}
 
 	// Auxiliary listeners (pprof, metrics) get the same lifecycle as the
 	// API listener: header timeouts against slow-loris peers and a

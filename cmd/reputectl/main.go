@@ -13,13 +13,14 @@
 //	reputectl -data ./data top 20
 //	reputectl -data ./data journal
 //	reputectl health http://localhost:8080
+//	reputectl scrubstatus http://localhost:8080
 //	reputectl metrics http://localhost:8080 repcache
 //	reputectl trace http://localhost:8080
 //
-// health, loadstatus, storagestatus, metrics, and trace are the online
-// commands: they query a running server's observability endpoints
-// (/healthz, /replstatus, /metrics, /trace) instead of opening the
-// store.
+// health, loadstatus, storagestatus, scrubstatus, metrics, and trace
+// are the online commands: they query a running server's observability
+// endpoints (/healthz, /replstatus, /metrics, /trace) instead of
+// opening the store.
 //
 // Bootstrap CSV columns: filename,vendor,version,size,score,votes,behaviors
 // (behaviors is the comma-free "|"-separated flag list, e.g.
@@ -53,7 +54,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | journal | health <url> | loadstatus <url> | storagestatus <url> | metrics <url> [filter] | trace <url>")
+		log.Fatal("reputectl: need a command: stats | aggregate | bootstrap <csv> | software <id> | user <name> | top [n] | check | pending | approve <id> | journal | health <url> | loadstatus <url> | storagestatus <url> | scrubstatus <url> | metrics <url> [filter] | trace <url>")
 	}
 
 	// health, loadstatus, metrics, and trace talk to a running server
@@ -95,6 +96,13 @@ func main() {
 			log.Fatal("reputectl: storagestatus needs a server base URL")
 		}
 		cmdStorageStatus(args[1])
+		return
+	}
+	if args[0] == "scrubstatus" {
+		if len(args) < 2 {
+			log.Fatal("reputectl: scrubstatus needs a server base URL")
+		}
+		cmdScrubStatus(args[1])
 		return
 	}
 	// journal reads the recovery journal file directly, not the store,
@@ -502,6 +510,11 @@ func cmdStorageStatus(base string) {
 		fmt.Printf("failure:   %s\n", st.LastFailure)
 		fmt.Println("writes:    shedding 503 unavailable; reads served from last durable state")
 	}
+	if st.State == wire.StorageCorrupt {
+		fmt.Printf("failure:   %s\n", st.LastFailure)
+		fmt.Printf("unit:      %s\n", st.CorruptUnit)
+		fmt.Println("writes:    shedding 503 unavailable; awaiting repair from a healthy peer")
+	}
 	fmt.Printf("reopens:   %d\n", st.Reopens)
 	fmt.Printf("wal:       %d commits in %d group writes, %d fsyncs\n",
 		st.WALBatches, st.WALGroups, st.WALFsyncs)
@@ -513,6 +526,43 @@ func cmdStorageStatus(base string) {
 		fmt.Printf("fsyncs:    %.3f per commit\n",
 			float64(st.WALFsyncs)/float64(st.WALBatches))
 	}
+}
+
+// cmdScrubStatus queries a running server's /healthz and prints the
+// self-healing picture: the sticky corruption state (with the damaged
+// unit when scrub found one), the online scrubber's progress, and the
+// background compactor's position behind the commit stream. /healthz
+// bypasses the admission gate, so this works precisely when a corrupt
+// store is shedding writes.
+func cmdScrubStatus(base string) {
+	base = strings.TrimRight(base, "/")
+	cl := &http.Client{Timeout: 5 * time.Second}
+
+	var h wire.HealthzResponse
+	if err := fetchXML(cl, base+wire.PathHealthz, &h); err != nil {
+		log.Fatalf("reputectl: healthz: %v", err)
+	}
+	st := h.Storage
+	if st == nil {
+		fmt.Println("storage:     not reported (older server)")
+		return
+	}
+	fmt.Printf("storage:     %s\n", st.State)
+	if st.State == wire.StorageCorrupt {
+		fmt.Printf("cause:       %s\n", st.LastFailure)
+		fmt.Printf("unit:        %s\n", st.CorruptUnit)
+		fmt.Println("writes:      shedding 503 unavailable; awaiting repair from a healthy peer")
+	}
+	fmt.Printf("scrub-runs:  %d\n", st.ScrubRuns)
+	fmt.Printf("blocks:      %d verified\n", st.ScrubBlocks)
+	fmt.Printf("corruptions: %d detected since open\n", st.Corruptions)
+	if st.LastScrubUnix > 0 {
+		fmt.Printf("last-scrub:  %s\n", time.Unix(st.LastScrubUnix, 0).UTC().Format(time.RFC3339))
+	} else {
+		fmt.Println("last-scrub:  never (enable with reputationd -scrub-every)")
+	}
+	fmt.Printf("compactions: %d\n", st.Compactions)
+	fmt.Printf("compact-lag: %d commits behind the WAL tail\n", st.CompactorLag)
 }
 
 // cmdJournal prints the recovery journal: writes that were acknowledged

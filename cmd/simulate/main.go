@@ -210,6 +210,13 @@ func experiments() []experiment {
 			}
 			return simulation.RunTelemetry(cfg)
 		}},
+		{"e25", "E25: self-healing storage — scrub detection of seeded bit rot, replica-sourced repair, background compaction latency", func(seed int64, quick bool) (fmt.Stringer, error) {
+			cfg := simulation.DefaultScrubRepairConfig(seed)
+			if quick {
+				cfg = simulation.QuickScrubRepairConfig(seed)
+			}
+			return simulation.RunScrubRepair(cfg)
+		}},
 	}
 }
 
@@ -259,6 +266,9 @@ func main() {
 	}
 	if want["telemetry"] {
 		want["e24"] = true
+	}
+	if want["scrub"] {
+		want["e25"] = true
 	}
 
 	matched := 0

@@ -529,25 +529,9 @@ func (rep *Replica) quarantine(ackedEpoch, supersededBy uint64, batches []stored
 
 // fetchDigest asks the primary for its history digest at seq.
 func (rep *Replica) fetchDigest(ctx context.Context, seq uint64) (digest uint64, known bool, err error) {
-	u := fmt.Sprintf("%s%s?seq=%d", rep.Primary, wire.PathReplDigest, seq)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	dr, err := probeDigest(ctx, rep.client(), rep.Primary, seq)
 	if err != nil {
 		return 0, false, err
-	}
-	resp, err := rep.client().Do(req)
-	if err != nil {
-		return 0, false, fmt.Errorf("replication: digest probe: %w", err)
-	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
-	if resp.StatusCode != http.StatusOK {
-		return 0, false, fmt.Errorf("replication: digest probe: http %d", resp.StatusCode)
-	}
-	var dr wire.ReplDigestResponse
-	if derr := wire.Decode(resp.Body, &dr); derr != nil {
-		return 0, false, derr
 	}
 	rep.observeEpoch(dr.Epoch)
 	return dr.Digest, dr.Known, nil

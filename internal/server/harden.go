@@ -182,18 +182,25 @@ func (s *Server) shedMiddleware(next http.Handler) http.Handler {
 			writeUnavailable(w, retryAfter, "server is draining for shutdown")
 			return
 		}
-		if s.storageFailed() && !bypassAdmission(r.URL.Path) {
-			// Storage is in its sticky failed state: the store serves
-			// reads from the last durable tree but cannot make anything
-			// new durable. Shed writes with 503 (clients fail over to a
-			// healthy primary) and step the brownout ladder to cache-only
-			// so the read path stops doing write-adjacent work.
+		if (s.storageFailed() || s.storageCorrupt()) && !bypassAdmission(r.URL.Path) {
+			// Storage is in a sticky read-only state: the store serves
+			// reads from the last committed tree but cannot (failed) or
+			// must not (corrupt) make anything new durable. Shed writes
+			// with 503 (clients fail over to a healthy primary) and step
+			// the brownout ladder to cache-only so the read path stops
+			// doing write-adjacent work. The replication endpoints stay up
+			// either way — a corrupt primary's repair depends on its
+			// replicas catching up from exactly this state.
 			if s.admit != nil && s.admit.Level() < admission.LevelCacheOnly {
 				s.admit.SetLevel(admission.LevelCacheOnly)
 			}
 			if classifyRequest(r) == admission.Write {
 				atomic.AddInt64(&s.shed, 1)
-				writeUnavailable(w, retryAfter, "storage degraded: writes unavailable until reopen")
+				msg := "storage degraded: writes unavailable until reopen"
+				if s.storageCorrupt() {
+					msg = "storage corrupt: writes unavailable until repaired from a healthy peer"
+				}
+				writeUnavailable(w, retryAfter, msg)
 				return
 			}
 		}

@@ -130,20 +130,39 @@ func (s *Server) storageFailed() bool {
 	return s.store.DB().Failed()
 }
 
+// storageCorrupt reports the sticky corrupt (read-only) state; same
+// cost and caller as storageFailed.
+func (s *Server) storageCorrupt() bool {
+	return s.store.DB().Corrupt()
+}
+
 // storageInfo builds the /healthz storage section from the store's
-// health counters.
+// health counters. Corrupt wins over failed in the state field: a
+// corrupt store needs a peer repair, not a reopen, and the operator
+// must see which.
 func (s *Server) storageInfo() *wire.StorageInfo {
 	h := s.store.DB().Health()
 	info := &wire.StorageInfo{
-		State:      wire.StorageOK,
-		Reopens:    h.Reopens,
-		WALGroups:  h.Groups,
-		WALBatches: h.Batches,
-		WALFsyncs:  h.Fsyncs,
+		State:         wire.StorageOK,
+		Reopens:       h.Reopens,
+		WALGroups:     h.Groups,
+		WALBatches:    h.Batches,
+		WALFsyncs:     h.Fsyncs,
+		Compactions:   h.Compactions,
+		CompactorLag:  h.CompactorLag,
+		ScrubRuns:     h.ScrubRuns,
+		ScrubBlocks:   h.ScrubBlocks,
+		Corruptions:   h.Corruptions,
+		LastScrubUnix: h.LastScrubUnix,
 	}
 	if h.Failed {
 		info.State = wire.StorageFailed
 		info.LastFailure = h.Cause
+	}
+	if h.Corrupt {
+		info.State = wire.StorageCorrupt
+		info.LastFailure = h.CorruptCause
+		info.CorruptUnit = h.CorruptUnit
 	}
 	return info
 }

@@ -234,6 +234,27 @@ func newServerTelemetry(s *Server, reg *telemetry.Registry, traceEvents int, tra
 	reg.CounterFunc("reputation_storedb_wal_bytes_total",
 		"Bytes appended durably to the WAL.", nil,
 		func() uint64 { return db.Health().WALBytes })
+	reg.GaugeFunc("reputation_storedb_corrupt",
+		"1 while the store is in its sticky corrupt (read-only) state.", nil,
+		func() float64 { return boolGauge(db.Corrupt()) })
+	reg.CounterFunc("reputation_storedb_corruptions_total",
+		"Checksum mismatches found by scrub or a read path.", nil,
+		func() uint64 { return db.Health().Corruptions })
+	reg.CounterFunc("reputation_storedb_compactions_total",
+		"Snapshot compactions completed (background or inline).", nil,
+		func() uint64 { return db.Health().Compactions })
+	reg.GaugeFunc("reputation_storedb_compactor_lag",
+		"Committed batches the newest snapshot trails the commit head by.", nil,
+		func() float64 { return float64(db.Health().CompactorLag) })
+	reg.CounterFunc("reputation_storedb_scrub_runs_total",
+		"Completed online scrub passes.", nil,
+		func() uint64 { return db.Health().ScrubRuns })
+	reg.CounterFunc("reputation_storedb_scrub_blocks_total",
+		"Checksummed units (snapshot blocks and WAL frames) verified by scrub.", nil,
+		func() uint64 { return db.Health().ScrubBlocks })
+	reg.GaugeFunc("reputation_storedb_last_scrub_unix",
+		"Unix time the newest scrub pass finished; 0 when none has run.", nil,
+		func() float64 { return float64(db.Health().LastScrubUnix) })
 
 	// --- replication (the serving side; a replica's puller registers
 	// its own counters via replication.Replica.RegisterMetrics) ---

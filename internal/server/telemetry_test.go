@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"softreputation/internal/admission"
+	"softreputation/internal/replication"
 	"softreputation/internal/repo"
 	"softreputation/internal/vclock"
 	"softreputation/internal/wire"
@@ -45,6 +46,9 @@ func TestMetricsLint(t *testing.T) {
 	if reg == nil {
 		t.Fatal("telemetry should be on by default")
 	}
+	// reputationd lands the repair supervisor's families in this same
+	// registry; register them here so the lint covers them too.
+	(&replication.Repairer{DB: f.srv.Store().DB()}).RegisterMetrics(reg)
 	if problems := reg.Lint(); len(problems) != 0 {
 		t.Fatalf("metrics lint failed:\n%s", strings.Join(problems, "\n"))
 	}
@@ -83,6 +87,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"reputation_admission_limit",
 		"reputation_repcache_misses_total",
 		"reputation_storedb_wal_bytes_total",
+		"reputation_storedb_corrupt",
+		"reputation_storedb_compactions_total",
+		"reputation_storedb_scrub_runs_total",
 		"reputation_replication_lag",
 		"reputation_resilience_shed_total",
 		"reputation_wire_binary_frames_total",

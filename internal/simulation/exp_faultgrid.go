@@ -175,7 +175,11 @@ func runFaultCell(cfg FaultGridConfig, kind faultKind, after int) (FaultGridCell
 	}
 	defer os.RemoveAll(dir)
 
-	db, err := storedb.Open(storedb.Options{Dir: dir, SyncWrites: true, CompactEvery: cfg.CompactEvery})
+	// CompactOnCommit keeps the grid deterministic: the snapshot-path
+	// faults must fire inside the scripted workload, not whenever a
+	// background goroutine happens to get scheduled. (Experiment E25
+	// covers the background-compactor interplay.)
+	db, err := storedb.Open(storedb.Options{Dir: dir, SyncWrites: true, CompactEvery: cfg.CompactEvery, CompactOnCommit: true})
 	if err != nil {
 		return cell, err
 	}
@@ -229,7 +233,7 @@ func runFaultCell(cfg FaultGridConfig, kind faultKind, after int) (FaultGridCell
 	if kind.coldOpen {
 		db.Close()
 		closed = true
-		db, err = storedb.Open(storedb.Options{Dir: dir, SyncWrites: true, CompactEvery: cfg.CompactEvery})
+		db, err = storedb.Open(storedb.Options{Dir: dir, SyncWrites: true, CompactEvery: cfg.CompactEvery, CompactOnCommit: true})
 		if err != nil {
 			return cell, fmt.Errorf("cold open after kill: %w", err)
 		}

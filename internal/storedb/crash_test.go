@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -37,8 +38,12 @@ type nsEvent struct {
 }
 
 type crashSim struct {
-	t       *testing.T
-	dir     string
+	t   *testing.T
+	dir string
+	// mu serializes the hooks: with background compaction the commit
+	// path and the compactor goroutine hit the filesystem concurrently,
+	// and the simulator's bookkeeping must stay consistent across both.
+	mu      sync.Mutex
 	killAt  int // 1-based index of the sync-family call that fails
 	calls   int
 	killed  bool
@@ -53,9 +58,12 @@ func newCrashSim(t *testing.T, dir string, killAt int) *crashSim {
 // install points the package's fsHooks at the simulator. The caller
 // must arrange restore (defer sim.uninstall()).
 func (s *crashSim) install() {
-	testFS = fsHooks{
+	installFS(&fsHooks{
 		write: func(f *os.File, p []byte, label string) (int, error) {
-			if s.killed {
+			s.mu.Lock()
+			dead := s.killed
+			s.mu.Unlock()
+			if dead {
 				return 0, errKilled
 			}
 			return f.Write(p)
@@ -63,7 +71,9 @@ func (s *crashSim) install() {
 		created: func(path string) {
 			// The new file's directory entry is not durable until the
 			// next dir sync; a power loss before then loses the file.
+			s.mu.Lock()
 			s.pending = append(s.pending, nsEvent{kind: "create", oldPath: path})
+			s.mu.Unlock()
 		},
 		sync: func(f *os.File, label string) error {
 			if s.tick() {
@@ -73,7 +83,9 @@ func (s *crashSim) install() {
 				return err
 			}
 			if info, err := f.Stat(); err == nil {
+				s.mu.Lock()
 				s.durable[f.Name()] = info.Size()
+				s.mu.Unlock()
 			}
 			return nil
 		},
@@ -81,10 +93,14 @@ func (s *crashSim) install() {
 			if s.tick() {
 				return errKilled
 			}
+			s.mu.Lock()
 			s.pending = nil // namespace ops are now durable
+			s.mu.Unlock()
 			return nil
 		},
 		rename: func(oldpath, newpath string) error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
 			if s.killed {
 				return errKilled
 			}
@@ -101,6 +117,8 @@ func (s *crashSim) install() {
 			return nil
 		},
 		remove: func(path string) error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
 			if s.killed {
 				return errKilled
 			}
@@ -111,15 +129,17 @@ func (s *crashSim) install() {
 			delete(s.durable, path)
 			return nil
 		},
-	}
+	})
 }
 
-func (s *crashSim) uninstall() { testFS = fsHooks{} }
+func (s *crashSim) uninstall() { installFS(nil) }
 
 // tick counts one sync point and reports whether the simulated power
 // loss hits it. After the kill every further operation fails too — the
 // process is dead.
 func (s *crashSim) tick() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.killed {
 		return true
 	}
@@ -129,6 +149,13 @@ func (s *crashSim) tick() bool {
 		return true
 	}
 	return false
+}
+
+// wasKilled reports whether the simulated power loss has fired.
+func (s *crashSim) wasKilled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.killed
 }
 
 // powerLoss rewrites the directory to its worst-case post-crash state:
@@ -181,8 +208,26 @@ func (s *crashSim) powerLoss() {
 // TestCrashAtEverySyncPoint kills the process at every fsync point of a
 // commit-heavy workload (including mid-compaction) and checks that
 // recovery preserves exactly the acknowledged commits: nothing acked is
-// lost, nothing unacked is resurrected.
+// lost, nothing unacked is resurrected. The background arm runs the
+// default configuration, where the compactor goroutine's snapshot
+// writes and WAL tail swaps race the live group commits — every
+// interleaving of a kill with that race must still uphold the
+// invariant. The on-commit arm pins the legacy inline path.
 func TestCrashAtEverySyncPoint(t *testing.T) {
+	for _, arm := range []struct {
+		name     string
+		onCommit bool
+	}{
+		{"background", false},
+		{"on-commit", true},
+	} {
+		t.Run(arm.name, func(t *testing.T) {
+			crashAtEverySyncPoint(t, arm.onCommit)
+		})
+	}
+}
+
+func crashAtEverySyncPoint(t *testing.T, onCommit bool) {
 	const commits = 9
 	for killAt := 1; ; killAt++ {
 		dir := t.TempDir()
@@ -190,9 +235,12 @@ func TestCrashAtEverySyncPoint(t *testing.T) {
 		sim.install()
 
 		acked := map[string]bool{}
-		db, err := Open(Options{Dir: dir, SyncWrites: true, CompactEvery: 3, ReplLogBuffer: -1})
+		db, err := Open(Options{
+			Dir: dir, SyncWrites: true, CompactEvery: 3,
+			ReplLogBuffer: -1, CompactOnCommit: onCommit,
+		})
 		switch {
-		case err != nil && !sim.killed:
+		case err != nil && !sim.wasKilled():
 			sim.uninstall()
 			t.Fatalf("killAt=%d: open: %v", killAt, err)
 		case err != nil:
@@ -216,7 +264,7 @@ func TestCrashAtEverySyncPoint(t *testing.T) {
 			db.Close()
 		}
 
-		survived := !sim.killed
+		survived := !sim.wasKilled()
 		sim.powerLoss()
 		sim.uninstall()
 
@@ -263,26 +311,32 @@ func TestCrashAtEverySyncPoint(t *testing.T) {
 // snapshot would be lost.
 func TestSnapshotRenameDurableBeforeWALRemoval(t *testing.T) {
 	dir := t.TempDir()
+	var opsMu sync.Mutex
 	var ops []string
-	testFS = fsHooks{
+	note := func(op string) {
+		opsMu.Lock()
+		ops = append(ops, op)
+		opsMu.Unlock()
+	}
+	installFS(&fsHooks{
 		sync: func(f *os.File, label string) error {
-			ops = append(ops, "sync:"+label)
+			note("sync:" + label)
 			return f.Sync()
 		},
 		syncDir: func(path string) error {
-			ops = append(ops, "syncdir")
+			note("syncdir")
 			return nil
 		},
 		rename: func(oldpath, newpath string) error {
-			ops = append(ops, "rename:"+filepath.Base(newpath))
+			note("rename:" + filepath.Base(newpath))
 			return os.Rename(oldpath, newpath)
 		},
 		remove: func(path string) error {
-			ops = append(ops, "remove:"+filepath.Base(path))
+			note("remove:" + filepath.Base(path))
 			return os.Remove(path)
 		},
-	}
-	defer func() { testFS = fsHooks{} }()
+	})
+	defer installFS(nil)
 
 	db, err := Open(Options{Dir: dir, SyncWrites: true})
 	if err != nil {
@@ -343,7 +397,7 @@ func TestSnapshotRenameDurableBeforeWALRemoval(t *testing.T) {
 func TestWALCreateDurableBeforeFirstCommit(t *testing.T) {
 	dir := t.TempDir()
 	var ops []string
-	testFS = fsHooks{
+	installFS(&fsHooks{
 		created: func(path string) {
 			ops = append(ops, "create:"+filepath.Base(path))
 		},
@@ -355,8 +409,8 @@ func TestWALCreateDurableBeforeFirstCommit(t *testing.T) {
 			ops = append(ops, "sync:"+label)
 			return f.Sync()
 		},
-	}
-	defer func() { testFS = fsHooks{} }()
+	})
+	defer installFS(nil)
 
 	db, err := Open(Options{Dir: dir, SyncWrites: true})
 	if err != nil {
@@ -395,7 +449,7 @@ func TestWALCreateDurableBeforeFirstCommit(t *testing.T) {
 func TestFailedWALSyncDoesNotResurrect(t *testing.T) {
 	dir := t.TempDir()
 	failNext := false
-	testFS = fsHooks{
+	installFS(&fsHooks{
 		sync: func(f *os.File, label string) error {
 			if failNext && label == "wal" {
 				failNext = false
@@ -403,8 +457,8 @@ func TestFailedWALSyncDoesNotResurrect(t *testing.T) {
 			}
 			return f.Sync()
 		},
-	}
-	defer func() { testFS = fsHooks{} }()
+	})
+	defer installFS(nil)
 
 	db, err := Open(Options{Dir: dir, SyncWrites: true, CompactEvery: -1})
 	if err != nil {

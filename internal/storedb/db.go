@@ -22,19 +22,32 @@
 // error moves the database into a sticky failed state in which every
 // write returns ErrStorageFailed while reads keep serving the last
 // committed tree. Reopen replays and verifies the durable state and is
-// the only way back to writable.
+// the only way back to writable. Silent corruption — bytes that read
+// back cleanly but fail a checksum — is a separate sticky state:
+// every snapshot block and WAL frame is CRC-checked on read, an online
+// scrubber (Options.ScrubEvery, Scrub) verifies them proactively, and a
+// mismatch moves the database to ErrStorageCorrupt, from which the only
+// way back is QuarantineCorrupt plus RestoreSnapshotFrom with a healthy
+// replacement (replication.Repairer drives that from a replica).
+//
+// Automatic compaction runs on a background goroutine: commits only
+// signal the compactor, so the fsync-heavy snapshot write never stalls
+// the group-commit pipeline. The compactor snapshots outside commitMu
+// and swaps the WAL tail under it in a brief second phase.
 //
 // Keys live in named buckets; a bucket is a key prefix managed by the
 // store so that independently-developed tables cannot collide.
 package storedb
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options configures Open.
@@ -65,6 +78,26 @@ type Options struct {
 	// path did before group commit. Kept as the measured baseline for
 	// experiment E21 and as an operational escape hatch.
 	NoGroupCommit bool
+
+	// CompactOnCommit runs automatic compaction inline on the commit
+	// path under commitMu, as the store did before the background
+	// compactor. Kept as the measured baseline for experiment E25 and
+	// as an operational escape hatch; the default (false) hands
+	// auto-compaction to a dedicated goroutine that commits only
+	// signal.
+	CompactOnCommit bool
+
+	// CompactPace rate-limits the background compactor: after each
+	// compaction it sleeps at least this long before honoring the next
+	// signal, bounding the snapshot-write I/O the compactor can add.
+	// Zero means no pacing.
+	CompactPace time.Duration
+
+	// ScrubEvery starts an online scrubber goroutine that verifies
+	// every snapshot block checksum and the WAL history digest chain at
+	// this interval. Zero disables background scrubbing; Scrub remains
+	// available for on-demand passes.
+	ScrubEvery time.Duration
 }
 
 const (
@@ -74,10 +107,14 @@ const (
 
 // DB is an embedded key-value database. It is safe for concurrent use.
 //
-// Lock order: commitMu before writeMu, never the reverse. Staging
-// (running a transaction's fn, joining a commit group) takes writeMu
-// alone; flushing a group to the WAL, publishing, compaction, and
+// Lock order: compactMu before commitMu before writeMu, never the
+// reverse. Staging (running a transaction's fn, joining a commit group)
+// takes writeMu alone; flushing a group to the WAL, publishing, and
 // recovery take commitMu and may briefly nest writeMu inside it.
+// Maintenance that rewrites whole files — compaction, scrub-and-repair,
+// restore, tail truncation — serializes on compactMu first, so the
+// background compactor and an operator-invoked Compact or Scrub never
+// interleave their multi-step file rewrites.
 type DB struct {
 	opts Options
 
@@ -92,6 +129,26 @@ type DB struct {
 	wal      *walWriter
 	pending  int // batches since last compaction
 
+	// compactMu serializes whole-file maintenance: background and
+	// manual compaction, scrub, restore, quarantine, tail truncation.
+	// It is taken before commitMu and held across both compaction
+	// phases, so the expensive snapshot write happens with commits
+	// still flowing.
+	compactMu sync.Mutex
+
+	// walMutGen is a seqlock generation for the WAL file set: odd while
+	// a maintenance path is mutating WAL files (reset, tail swap,
+	// truncate), bumped even when done. Lock-free readers that scan the
+	// WAL (Since fallback, scrub) read it before and after: a stable
+	// even value proves the scan saw a quiescent file, so a short or
+	// failed scan is evidence of corruption rather than of racing a
+	// swap.
+	walMutGen atomic.Uint64
+
+	compactKick chan struct{}  // signaled (non-blocking) when pending crosses the threshold
+	bgStop      chan struct{}  // closed by Close to stop background goroutines
+	bg          sync.WaitGroup // compactor + scrubber goroutines
+
 	seq     atomic.Uint64 // last durable batch sequence
 	snapSeq atomic.Uint64 // sequence covered by the newest snapshot
 
@@ -105,6 +162,18 @@ type DB struct {
 	failed  atomic.Bool // sticky storage failure; writes refused until Reopen
 	failMu  sync.Mutex  // guards failure
 	failure error       // first cause of the failed state
+
+	corrupt      atomic.Bool // sticky checksum corruption; writes refused until repaired
+	corruptMu    sync.Mutex  // guards corruptCause, corruptUnit, quarantined
+	corruptCause error       // first checksum mismatch that moved the store to corrupt
+	corruptUnit  string      // unit that failed: UnitSnapshotHeader, UnitSnapshotBlock, UnitWALFrame
+	quarantined  bool        // corrupt files moved aside; RestoreSnapshotFrom may proceed
+
+	compactions atomic.Uint64 // snapshot+truncate cycles completed
+	scrubRuns   atomic.Uint64 // scrub passes completed (clean or not)
+	scrubBlocks atomic.Uint64 // blocks whose checksums scrub has verified, cumulative
+	corruptions atomic.Uint64 // checksum mismatches detected (scrub or read path)
+	lastScrub   atomic.Int64  // unix seconds of the last completed scrub pass
 
 	updates  atomic.Uint64 // committed local Update transactions
 	attempts atomic.Uint64 // Update transactions begun (write-lock acquisitions)
@@ -160,6 +229,9 @@ func Open(opts Options) (*DB, error) {
 		if err := os.MkdirAll(opts.Dir, 0o700); err != nil {
 			return nil, fmt.Errorf("storedb: create dir: %w", err)
 		}
+		if err := removeOrphanTemps(opts.Dir); err != nil {
+			return nil, err
+		}
 		snap, snapSeq, snapDigest, err := loadSnapshot(opts.Dir)
 		if err != nil {
 			return nil, err
@@ -208,16 +280,63 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.wal = w
 	}
+
+	if opts.Dir != "" {
+		db.bgStop = make(chan struct{})
+		if !opts.CompactOnCommit && opts.CompactEvery > 0 {
+			db.compactKick = make(chan struct{}, 1)
+			db.bg.Add(1)
+			go db.compactorLoop()
+		}
+		if opts.ScrubEvery > 0 {
+			db.bg.Add(1)
+			go db.scrubberLoop()
+		}
+	}
 	return db, nil
 }
 
-func (db *DB) walPath() string { return filepath.Join(db.opts.Dir, "WAL") }
+// removeOrphanTemps deletes temporary files a crashed compaction left
+// behind (snapshot temp, WAL swap file) and makes the removals durable.
+// They are partial by construction — the crash happened before the
+// rename that would have made them real — so deleting them is safe and
+// keeps a dead compactor from leaking disk forever.
+func removeOrphanTemps(dir string) error {
+	removed := false
+	for _, pat := range []string{"SNAPSHOT*.tmp", "snapshot*.tmp", "WAL.swap"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return fmt.Errorf("storedb: scan temp files: %w", err)
+		}
+		for _, m := range matches {
+			if err := os.Remove(m); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("storedb: remove orphan %s: %w", filepath.Base(m), err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		if err := realSyncDir(dir); err != nil {
+			return fmt.Errorf("storedb: sync dir after temp cleanup: %w", err)
+		}
+	}
+	return nil
+}
+
+func (db *DB) walPath() string  { return filepath.Join(db.opts.Dir, "WAL") }
+func (db *DB) swapPath() string { return filepath.Join(db.opts.Dir, "WAL.swap") }
 
 // Close flushes any open commit group and releases the WAL file.
-// Further use of the database returns ErrClosed.
+// Further use of the database returns ErrClosed. Background goroutines
+// (compactor, scrubber) are stopped and joined before the WAL closes,
+// so no maintenance runs against released files.
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
+	}
+	if db.bgStop != nil {
+		close(db.bgStop)
+		db.bg.Wait()
 	}
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
@@ -271,6 +390,9 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 	if db.fenced.Load() {
 		return ErrFenced
 	}
+	if db.corrupt.Load() {
+		return db.corruptErr()
+	}
 	if db.failed.Load() {
 		return db.failedErr()
 	}
@@ -290,6 +412,10 @@ func (db *DB) Update(fn func(tx *Tx) error) error {
 	if db.fenced.Load() {
 		db.writeMu.Unlock()
 		return ErrFenced
+	}
+	if db.corrupt.Load() {
+		db.writeMu.Unlock()
+		return db.corruptErr()
 	}
 	if db.failed.Load() {
 		db.writeMu.Unlock()
@@ -362,6 +488,10 @@ func (db *DB) updateSerialized(fn func(tx *Tx) error) error {
 		db.writeMu.Unlock()
 		return ErrFenced
 	}
+	if db.corrupt.Load() {
+		db.writeMu.Unlock()
+		return db.corruptErr()
+	}
 	if db.failed.Load() {
 		db.writeMu.Unlock()
 		return db.failedErr()
@@ -410,6 +540,10 @@ func (db *DB) flushGroupLocked(g *commitGroup) {
 	db.writeMu.Unlock()
 	defer close(g.done)
 
+	if db.corrupt.Load() {
+		g.err = db.corruptErr()
+		return
+	}
 	if db.failed.Load() {
 		g.err = db.failedErr()
 		return
@@ -438,13 +572,33 @@ func (db *DB) flushGroupLocked(g *commitGroup) {
 	}
 
 	db.pending += len(g.batches)
-	if db.wal != nil && db.opts.CompactEvery > 0 && db.pending >= db.opts.CompactEvery {
+	db.maybeCompactLocked()
+}
+
+// maybeCompactLocked triggers automatic compaction once enough batches
+// have accumulated. In the default configuration it only signals the
+// background compactor — a non-blocking channel send, so commits never
+// pay for a snapshot write. With CompactOnCommit the legacy inline
+// behavior runs under commitMu and a failure is sticky. Caller holds
+// commitMu.
+func (db *DB) maybeCompactLocked() {
+	if db.wal == nil || db.opts.CompactEvery <= 0 || db.pending < db.opts.CompactEvery {
+		return
+	}
+	if db.opts.CompactOnCommit {
 		if err := db.compactLocked(); err != nil {
 			// The group is already durable and published, so its
 			// members are acknowledged with nil; only the snapshot or
 			// log truncation died. The log may be half-reset, so take
 			// the sticky failed state rather than guessing.
 			db.fail(fmt.Errorf("auto-compaction: %w", err))
+		}
+		return
+	}
+	if db.compactKick != nil {
+		select {
+		case db.compactKick <- struct{}{}:
+		default: // a kick is already pending; the compactor will see current state
 		}
 	}
 }
@@ -484,6 +638,39 @@ func (db *DB) failedErr() error {
 	return fmt.Errorf("%w: %v", ErrStorageFailed, cause)
 }
 
+// markCorrupt records the first checksum mismatch and moves the
+// database into the sticky corrupt state: writes return
+// ErrStorageCorrupt until the damaged files are quarantined and the
+// state restored from a verified source. Reads keep serving the
+// in-memory tree, which predates the corruption by construction — it
+// was built from bytes that verified when they were read.
+func (db *DB) markCorrupt(unit string, cause error) {
+	db.corruptions.Add(1)
+	db.corruptMu.Lock()
+	if db.corruptCause == nil {
+		db.corruptCause = cause
+		db.corruptUnit = unit
+	}
+	db.corruptMu.Unlock()
+	db.corrupt.Store(true)
+}
+
+// corruptErr returns ErrStorageCorrupt annotated with the first cause.
+func (db *DB) corruptErr() error {
+	db.corruptMu.Lock()
+	cause := db.corruptCause
+	db.corruptMu.Unlock()
+	if cause == nil {
+		return ErrStorageCorrupt
+	}
+	return fmt.Errorf("%w: %v", ErrStorageCorrupt, cause)
+}
+
+// Corrupt reports whether the database is in the sticky corrupt
+// (read-only) state — a single atomic load, cheap enough for a
+// per-request gate.
+func (db *DB) Corrupt() bool { return db.corrupt.Load() }
+
 // StorageHealth describes the write pipeline's state for health
 // endpoints and operators.
 type StorageHealth struct {
@@ -503,6 +690,30 @@ type StorageHealth struct {
 	Fsyncs uint64
 	// WALBytes counts bytes appended durably to the WAL since open.
 	WALBytes uint64
+
+	// Corrupt reports the sticky corrupt (read-only) state: a checksum
+	// verification found durable bytes that are provably wrong.
+	Corrupt bool
+	// CorruptCause is the first checksum mismatch; empty when clean.
+	CorruptCause string
+	// CorruptUnit names what failed: "snapshot-header",
+	// "snapshot-block", or "wal-frame". Empty when clean.
+	CorruptUnit string
+	// Compactions counts completed snapshot+truncate cycles.
+	Compactions uint64
+	// CompactorLag is how many committed batches the newest snapshot
+	// trails the log by — the work the background compactor still owes.
+	CompactorLag uint64
+	// ScrubRuns counts completed scrub passes; ScrubBlocks the
+	// cumulative blocks they verified.
+	ScrubRuns   uint64
+	ScrubBlocks uint64
+	// Corruptions counts checksum mismatches detected by scrub or any
+	// read path since open.
+	Corruptions uint64
+	// LastScrubUnix is the completion time of the newest scrub pass in
+	// unix seconds; zero when no pass has completed.
+	LastScrubUnix int64
 }
 
 // Failed reports whether the database is in the sticky failed
@@ -513,12 +724,19 @@ func (db *DB) Failed() bool { return db.failed.Load() }
 // Health returns a snapshot of the storage health counters.
 func (db *DB) Health() StorageHealth {
 	h := StorageHealth{
-		Failed:   db.failed.Load(),
-		Reopens:  db.reopens.Load(),
-		Groups:   db.walGroups.Load(),
-		Batches:  db.walBatches.Load(),
-		Fsyncs:   db.walFsyncs.Load(),
-		WALBytes: db.walBytes.Load(),
+		Failed:        db.failed.Load(),
+		Reopens:       db.reopens.Load(),
+		Groups:        db.walGroups.Load(),
+		Batches:       db.walBatches.Load(),
+		Fsyncs:        db.walFsyncs.Load(),
+		WALBytes:      db.walBytes.Load(),
+		Corrupt:       db.corrupt.Load(),
+		Compactions:   db.compactions.Load(),
+		CompactorLag:  db.CompactorLag(),
+		ScrubRuns:     db.scrubRuns.Load(),
+		ScrubBlocks:   db.scrubBlocks.Load(),
+		Corruptions:   db.corruptions.Load(),
+		LastScrubUnix: db.lastScrub.Load(),
 	}
 	if h.Failed {
 		db.failMu.Lock()
@@ -527,7 +745,25 @@ func (db *DB) Health() StorageHealth {
 		}
 		db.failMu.Unlock()
 	}
+	if h.Corrupt {
+		db.corruptMu.Lock()
+		if db.corruptCause != nil {
+			h.CorruptCause = db.corruptCause.Error()
+		}
+		h.CorruptUnit = db.corruptUnit
+		db.corruptMu.Unlock()
+	}
 	return h
+}
+
+// CompactorLag returns how many committed batches the newest snapshot
+// trails the durable log by. Pure atomics; safe from any goroutine.
+func (db *DB) CompactorLag() uint64 {
+	seq, snap := db.seq.Load(), db.snapSeq.Load()
+	if seq <= snap {
+		return 0
+	}
+	return seq - snap
 }
 
 // Reopen recovers a database from the sticky failed state: it closes
@@ -541,6 +777,13 @@ func (db *DB) Reopen() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if db.corrupt.Load() {
+		// Reopen proves the log's append state; it cannot make provably
+		// damaged bytes right. Only quarantine + restore clears corrupt.
+		return db.corruptErr()
+	}
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
 	db.drainOpenGroupLocked()
@@ -569,6 +812,13 @@ func (db *DB) Reopen() error {
 
 	snap, snapSeq, snapDigest, err := loadSnapshot(db.opts.Dir)
 	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			// Not an append-state problem: durable bytes are provably
+			// damaged, so reopening cannot recover. Switch to the
+			// corrupt state and its quarantine + restore path.
+			db.markCorrupt(UnitSnapshotBlock, err)
+			return db.corruptErr()
+		}
 		return fmt.Errorf("storedb: reopen: %w", err)
 	}
 	t := snap
@@ -608,6 +858,8 @@ func (db *DB) Reopen() error {
 	// Cut everything past the last acknowledged frame and make the cut
 	// durable, so a batch that failed mid-append can never resurrect.
 	if info, serr := os.Stat(db.walPath()); serr == nil && info.Size() > keep {
+		db.walMutGen.Add(1)
+		defer db.walMutGen.Add(1)
 		if terr := os.Truncate(db.walPath(), keep); terr != nil {
 			return fmt.Errorf("storedb: reopen truncate: %w", terr)
 		}
@@ -670,8 +922,13 @@ func (db *DB) Compact() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
+	if db.corrupt.Load() {
+		return db.corruptErr()
+	}
 	if db.failed.Load() {
 		return db.failedErr()
 	}
@@ -701,6 +958,7 @@ func (db *DB) compactLocked() error {
 	}
 	db.snapSeq.Store(seq)
 	db.snapDigest.Store(digest)
+	db.compactions.Add(1)
 	return nil
 }
 
@@ -709,6 +967,8 @@ func (db *DB) compactLocked() error {
 // changes durable together — a crash must not resurrect batches the
 // snapshot already covers. Caller holds commitMu.
 func (db *DB) resetWalLocked() error {
+	db.walMutGen.Add(1)
+	defer db.walMutGen.Add(1)
 	if db.wal != nil {
 		if err := db.wal.close(); err != nil {
 			return fmt.Errorf("storedb: close wal before truncate: %w", err)

@@ -2,6 +2,7 @@ package storedb
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -121,9 +122,11 @@ func (db *DB) SinceWithDigest(from uint64, max int, fn func(b Batch, prev uint64
 	if db.opts.Dir == "" || from < snapSeq {
 		return ErrCompacted
 	}
+	genBefore := db.walMutGen.Load()
+	durable := db.seq.Load()
 	prev := db.snapDigest.Load()
 	count := 0
-	_, _, err = scanWal(db.walPath(), func(b walBatch) error {
+	last, _, err := scanWal(db.walPath(), func(b walBatch) error {
 		if b.seq <= snapSeq {
 			return nil
 		}
@@ -143,9 +146,15 @@ func (db *DB) SinceWithDigest(from uint64, max int, fn func(b Batch, prev uint64
 		return nil
 	})
 	if err == errScanDone {
-		err = nil
+		return nil
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	if cerr := db.noteWalScanShort(last, durable, genBefore); cerr != nil {
+		return cerr
+	}
+	return nil
 }
 
 // TruncateTail discards every committed batch with Seq > to, rewinding
@@ -163,11 +172,16 @@ func (db *DB) TruncateTail(to uint64) ([]Batch, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
 	db.drainOpenGroupLocked()
 	if db.closed.Load() {
 		return nil, ErrClosed
+	}
+	if db.corrupt.Load() {
+		return nil, db.corruptErr()
 	}
 	if db.failed.Load() {
 		return nil, db.failedErr()
@@ -183,12 +197,18 @@ func (db *DB) TruncateTail(to uint64) ([]Batch, error) {
 		return nil, ErrCompacted
 	}
 
+	db.walMutGen.Add(1)
+	defer db.walMutGen.Add(1)
 	if db.wal != nil {
 		_ = db.wal.close()
 		db.wal = nil
 	}
 	snap, snapSeq, snapDigest, err := loadSnapshot(db.opts.Dir)
 	if err != nil {
+		if errors.Is(err, ErrCorrupt) {
+			db.markCorrupt(UnitSnapshotBlock, err)
+			return nil, db.corruptErr()
+		}
 		db.fail(err)
 		return nil, db.failedErr()
 	}

@@ -31,12 +31,12 @@ func TestBumpEpochDurable(t *testing.T) {
 	}
 	eput(t, db, "k", "v")
 	syncs := 0
-	testFS = fsHooks{sync: func(f *os.File, label string) error {
+	installFS(&fsHooks{sync: func(f *os.File, label string) error {
 		syncs++
 		return f.Sync()
-	}}
+	}})
 	e, err := db.BumpEpoch()
-	testFS = fsHooks{}
+	installFS(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -56,4 +56,23 @@ var (
 	// write until Reopen has replayed and verified the durable state.
 	// Reads keep serving the last committed tree throughout.
 	ErrStorageFailed = errors.New("storedb: storage failed (read-only until reopen)")
+
+	// ErrStorageCorrupt is returned by write operations after a
+	// checksum verification — a scrub pass, a snapshot block, or a WAL
+	// frame below the acknowledged sequence — found bytes that read
+	// back cleanly but are wrong. It is distinct from ErrStorageFailed:
+	// a failed store has a log whose append state is untrustworthy and
+	// Reopen re-verifies it, while a corrupt store has durable data
+	// that is provably damaged, so Reopen cannot help. Reads keep
+	// serving the in-memory tree; the way back to writable is
+	// QuarantineCorrupt (preserving the damaged files) followed by
+	// RestoreSnapshotFrom with a verified replacement — in production,
+	// replication.Repairer drives exactly that from a healthy replica.
+	ErrStorageCorrupt = errors.New("storedb: storage corrupt (read-only until repaired)")
+
+	// ErrQuarantineRequired is returned by RestoreSnapshotFrom on a
+	// corrupt store whose damaged files have not been quarantined yet.
+	// Overwriting them would destroy the corruption evidence; callers
+	// must QuarantineCorrupt first.
+	ErrQuarantineRequired = errors.New("storedb: corrupt files must be quarantined before restore")
 )

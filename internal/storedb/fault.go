@@ -2,9 +2,11 @@ package storedb
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -33,20 +35,26 @@ type fsHooks struct {
 	created func(path string)
 }
 
-// testFS is nil-valued in production; crash and fault tests swap hooks
-// in and restore the zero value before the next test.
-var testFS fsHooks
+// testFS is nil in production; crash and fault tests swap hooks in and
+// restore nil before the next test. It is an atomic pointer because the
+// background compactor and scrubber goroutines read it concurrently
+// with a test's install/uninstall.
+var testFS atomic.Pointer[fsHooks]
+
+// installFS points the package's filesystem hooks at h; uninstallFS is
+// installFS(nil).
+func installFS(h *fsHooks) { testFS.Store(h) }
 
 func fsWrite(f *os.File, p []byte, label string) (int, error) {
-	if testFS.write != nil {
-		return testFS.write(f, p, label)
+	if h := testFS.Load(); h != nil && h.write != nil {
+		return h.write(f, p, label)
 	}
 	return f.Write(p)
 }
 
 func fsSync(f *os.File, label string) error {
-	if testFS.sync != nil {
-		return testFS.sync(f, label)
+	if h := testFS.Load(); h != nil && h.sync != nil {
+		return h.sync(f, label)
 	}
 	return f.Sync()
 }
@@ -56,8 +64,8 @@ func fsSync(f *os.File, label string) error {
 // rename is atomic but not durable until the parent directory is
 // synced.
 func fsSyncDir(path string) error {
-	if testFS.syncDir != nil {
-		return testFS.syncDir(path)
+	if h := testFS.Load(); h != nil && h.syncDir != nil {
+		return h.syncDir(path)
 	}
 	return realSyncDir(path)
 }
@@ -75,22 +83,22 @@ func realSyncDir(path string) error {
 }
 
 func fsRename(oldpath, newpath string) error {
-	if testFS.rename != nil {
-		return testFS.rename(oldpath, newpath)
+	if h := testFS.Load(); h != nil && h.rename != nil {
+		return h.rename(oldpath, newpath)
 	}
 	return os.Rename(oldpath, newpath)
 }
 
 func fsRemove(path string) error {
-	if testFS.remove != nil {
-		return testFS.remove(path)
+	if h := testFS.Load(); h != nil && h.remove != nil {
+		return h.remove(path)
 	}
 	return os.Remove(path)
 }
 
 func fsCreated(path string) {
-	if testFS.created != nil {
-		testFS.created(path)
+	if h := testFS.Load(); h != nil && h.created != nil {
+		h.created(path)
 	}
 }
 
@@ -141,6 +149,13 @@ type FaultRule struct {
 	// Delay stalls the operation, modeling device latency. It applies
 	// whether or not the rule also injects an error.
 	Delay time.Duration
+	// FlipBit, for write ops, models silent media corruption: one bit
+	// of the payload, at an offset drawn from the plan's seeded
+	// generator, is inverted and the write then proceeds and reports
+	// success. No error surfaces at write time — only a later checksum
+	// verification can catch it. Err and Short are ignored on a rule
+	// with FlipBit set.
+	FlipBit bool
 
 	matched int
 	fired   int
@@ -173,11 +188,14 @@ func (p *FaultPlan) Fired() int {
 
 // decide consults the rules for one operation. Matching rules are
 // evaluated in order; their delays accumulate, and the first rule that
-// yields an error stops the scan. The returned short prefix length is
-// meaningful for write ops only.
-func (p *FaultPlan) decide(op FaultOp, label string) (delay time.Duration, short int, err error) {
+// yields an error or a bit flip stops the scan. The returned short
+// prefix length and flip draw are meaningful for write ops only; flip
+// is a seeded random draw the write hook reduces modulo the payload's
+// bit length, or -1 when no flip fires.
+func (p *FaultPlan) decide(op FaultOp, label string) (delay time.Duration, short int, flip int64, err error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	flip = -1
 	for _, r := range p.rules {
 		if r.Op != op || (r.Label != "" && r.Label != label) {
 			continue
@@ -194,27 +212,31 @@ func (p *FaultPlan) decide(op FaultOp, label string) (delay time.Duration, short
 		}
 		r.fired++
 		delay += r.Delay
+		if r.FlipBit {
+			p.fired++
+			return delay, 0, p.rng.Int63(), nil
+		}
 		if r.Err != nil {
 			p.fired++
-			return delay, r.Short, r.Err
+			return delay, r.Short, -1, r.Err
 		}
 	}
-	return delay, 0, nil
+	return delay, 0, -1, nil
 }
 
 // Install points the package's filesystem hooks at the plan. Only one
 // plan (or crash simulator) can be installed at a time, and faults
 // apply to every database opened by the process — callers install
 // around a scoped workload and restore with UninstallFaults.
-func (p *FaultPlan) Install() { testFS = p.hooks() }
+func (p *FaultPlan) Install() { h := p.hooks(); installFS(&h) }
 
 // UninstallFaults restores direct filesystem access.
-func UninstallFaults() { testFS = fsHooks{} }
+func UninstallFaults() { installFS(nil) }
 
 func (p *FaultPlan) hooks() fsHooks {
 	return fsHooks{
 		write: func(f *os.File, b []byte, label string) (int, error) {
-			d, short, err := p.decide(FaultWrite, label)
+			d, short, flip, err := p.decide(FaultWrite, label)
 			if d > 0 {
 				time.Sleep(d)
 			}
@@ -225,10 +247,21 @@ func (p *FaultPlan) hooks() fsHooks {
 				}
 				return n, err
 			}
+			if flip >= 0 && len(b) > 0 {
+				// Silent corruption: write a copy with one bit inverted
+				// and report full success, like a device that lied.
+				c := append([]byte(nil), b...)
+				bit := flip % int64(len(c)*8)
+				c[bit/8] ^= 1 << uint(bit%8)
+				if n, werr := f.Write(c); werr != nil || n != len(c) {
+					return n, werr
+				}
+				return len(b), nil
+			}
 			return f.Write(b)
 		},
 		sync: func(f *os.File, label string) error {
-			d, _, err := p.decide(FaultSync, label)
+			d, _, _, err := p.decide(FaultSync, label)
 			if d > 0 {
 				time.Sleep(d)
 			}
@@ -238,7 +271,7 @@ func (p *FaultPlan) hooks() fsHooks {
 			return f.Sync()
 		},
 		syncDir: func(path string) error {
-			d, _, err := p.decide(FaultSyncDir, "")
+			d, _, _, err := p.decide(FaultSyncDir, "")
 			if d > 0 {
 				time.Sleep(d)
 			}
@@ -248,7 +281,7 @@ func (p *FaultPlan) hooks() fsHooks {
 			return realSyncDir(path)
 		},
 		rename: func(oldpath, newpath string) error {
-			d, _, err := p.decide(FaultRename, "")
+			d, _, _, err := p.decide(FaultRename, "")
 			if d > 0 {
 				time.Sleep(d)
 			}
@@ -258,7 +291,7 @@ func (p *FaultPlan) hooks() fsHooks {
 			return os.Rename(oldpath, newpath)
 		},
 		remove: func(path string) error {
-			d, _, err := p.decide(FaultRemove, "")
+			d, _, _, err := p.decide(FaultRemove, "")
 			if d > 0 {
 				time.Sleep(d)
 			}
@@ -268,4 +301,36 @@ func (p *FaultPlan) hooks() fsHooks {
 			return os.Remove(path)
 		},
 	}
+}
+
+// FlipFileBit inverts one bit of the file at path, at-rest: bit is
+// reduced modulo the file's bit length, so any non-negative value picks
+// a deterministic position. Corruption tests and experiment E25 use it
+// to model bit rot on files the store is not currently writing.
+func FlipFileBit(path string, bit int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() == 0 {
+		return fmt.Errorf("storedb: flip bit: %s is empty", path)
+	}
+	if bit < 0 {
+		bit = -bit
+	}
+	bit %= info.Size() * 8
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], bit/8); err != nil {
+		return err
+	}
+	b[0] ^= 1 << uint(bit%8)
+	if _, err := f.WriteAt(b[:], bit/8); err != nil {
+		return err
+	}
+	return f.Sync()
 }

@@ -179,7 +179,11 @@ func TestFaultGridRecovery(t *testing.T) {
 		for after := 0; after < 5; after++ {
 			t.Run(fmt.Sprintf("%s/after=%d", tc.name, after), func(t *testing.T) {
 				dir := t.TempDir()
-				db, err := Open(Options{Dir: dir, SyncWrites: true, CompactEvery: 3, ReplLogBuffer: -1})
+				// CompactOnCommit keeps the grid deterministic: the
+				// snapshot-path faults must fire inside the scripted
+				// workload, not whenever a background goroutine happens
+				// to get scheduled.
+				db, err := Open(Options{Dir: dir, SyncWrites: true, CompactEvery: 3, CompactOnCommit: true, ReplLogBuffer: -1})
 				if err != nil {
 					t.Fatal(err)
 				}

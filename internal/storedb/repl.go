@@ -255,8 +255,10 @@ func (db *DB) Since(from uint64, max int, fn func(Batch) error) error {
 	if db.opts.Dir == "" || from < db.snapSeq.Load() {
 		return ErrCompacted
 	}
+	genBefore := db.walMutGen.Load()
+	durable := db.seq.Load()
 	count := 0
-	_, _, err = scanWal(db.walPath(), func(b walBatch) error {
+	last, _, err := scanWal(db.walPath(), func(b walBatch) error {
 		if b.seq <= from {
 			return nil
 		}
@@ -267,9 +269,38 @@ func (db *DB) Since(from uint64, max int, fn func(Batch) error) error {
 		return fn(exportBatch(b))
 	})
 	if err == errScanDone {
-		err = nil
+		return nil
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	if cerr := db.noteWalScanShort(last, durable, genBefore); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
+// noteWalScanShort classifies a WAL scan that ran to its natural end.
+// Frames acknowledged before the scan began (seq <= durable) were fully
+// appended by then, so a scan that stops short of them on a quiescent
+// log hit a bad frame in the middle: mid-log corruption, which the
+// torn-tail policy must not silently absorb. The seqlock generation
+// distinguishes that from racing a compaction swap or truncation, which
+// legitimately rewrites the file mid-scan and is not evidence.
+func (db *DB) noteWalScanShort(last, durable, genBefore uint64) error {
+	covered := last
+	if snap := db.snapSeq.Load(); covered < snap {
+		covered = snap
+	}
+	if covered >= durable {
+		return nil // everything acknowledged is accounted for
+	}
+	if db.walMutGen.Load() != genBefore || genBefore%2 == 1 || db.failed.Load() {
+		return nil // the file was in motion; the next scan decides
+	}
+	err := fmt.Errorf("%w: wal readable through seq %d, acknowledged %d", ErrCorrupt, covered, durable)
+	db.markCorrupt(UnitWALFrame, err)
+	return db.corruptErr()
 }
 
 // errScanDone stops a WAL scan early once max batches were emitted.
@@ -308,6 +339,9 @@ func (db *DB) ApplyBatch(b Batch) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if db.corrupt.Load() {
+		return db.corruptErr()
+	}
 	if db.failed.Load() {
 		return db.failedErr()
 	}
@@ -316,6 +350,9 @@ func (db *DB) ApplyBatch(b Batch) error {
 	db.drainOpenGroupLocked()
 	if db.closed.Load() {
 		return ErrClosed
+	}
+	if db.corrupt.Load() {
+		return db.corruptErr()
 	}
 	if db.failed.Load() {
 		return db.failedErr()
@@ -370,22 +407,17 @@ func (db *DB) ApplyBatch(b Batch) error {
 	db.fireApplyHook(b)
 
 	db.pending++
-	if db.wal != nil && db.opts.CompactEvery > 0 && db.pending >= db.opts.CompactEvery {
-		if err := db.compactLocked(); err != nil {
-			// The batch is durable and applied; only compaction died.
-			// Fail sticky rather than returning an ambiguous error for
-			// a successful apply.
-			db.fail(fmt.Errorf("auto-compaction: %w", err))
-		}
-	}
+	db.maybeCompactLocked()
 	return nil
 }
 
 // WriteSnapshotTo streams a consistent snapshot of the current state
-// to w in the snapshot file layout (CRC trailer included) and returns
-// the sequence number it covers. The snapshot is taken atomically but
-// encoding happens outside the write lock: writers keep committing
-// while the dump streams.
+// to w in the snapshot file layout (per-block checksums included) and
+// returns the sequence number it covers. The snapshot is taken
+// atomically but encoding happens outside the write lock: writers keep
+// committing while the dump streams. It works on a corrupt database —
+// the in-memory tree predates the corruption — which is what lets a
+// still-healthy replica bootstrap even while its primary awaits repair.
 func (db *DB) WriteSnapshotTo(w io.Writer) (uint64, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
@@ -402,26 +434,38 @@ func (db *DB) WriteSnapshotTo(w io.Writer) (uint64, error) {
 }
 
 // RestoreSnapshotFrom replaces the database's entire state with the
-// snapshot stream read from r (CRC verified before anything is
-// installed) and returns the restored sequence number. On a durable
+// snapshot stream read from r (every checksum verified before anything
+// is installed) and returns the restored sequence number. On a durable
 // database the snapshot is persisted and the WAL restarted, so a crash
-// right after bootstrap recovers to the restored state.
+// right after bootstrap recovers to the restored state. It is also the
+// recovery path from the sticky corrupt state — but only after
+// QuarantineCorrupt has moved the damaged files aside; until then it
+// refuses with ErrQuarantineRequired so the corruption evidence is
+// never overwritten.
 func (db *DB) RestoreSnapshotFrom(r io.Reader) (uint64, error) {
 	if db.closed.Load() {
 		return 0, ErrClosed
 	}
-	t, seq, digest, err := decodeSnapshot(r)
+	if err := db.checkRestoreAllowed(); err != nil {
+		return 0, err // cheap pre-check before decoding the stream
+	}
+	t, seq, digest, err := decodeSnapshot(r, -1)
 	if err != nil {
 		return 0, err
 	}
 
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
 	db.drainOpenGroupLocked()
 	if db.closed.Load() {
 		return 0, ErrClosed
 	}
-	if db.failed.Load() {
+	if err := db.checkRestoreAllowed(); err != nil {
+		return 0, err
+	}
+	if db.failed.Load() && !db.corrupt.Load() {
 		return 0, db.failedErr()
 	}
 	if db.opts.Dir != "" {
@@ -459,9 +503,33 @@ func (db *DB) RestoreSnapshotFrom(r io.Reader) (uint64, error) {
 		db.commitC = nil
 	}
 	db.replMu.Unlock()
+
+	// The store now holds freshly verified state; leave the corrupt
+	// quarantine behind.
+	db.corruptMu.Lock()
+	db.corruptCause, db.corruptUnit, db.quarantined = nil, "", false
+	db.corruptMu.Unlock()
+	db.corrupt.Store(false)
+
 	// An op-less batch tells the hook the whole state changed.
 	db.fireApplyHook(Batch{Seq: seq})
 	return seq, nil
+}
+
+// checkRestoreAllowed gates RestoreSnapshotFrom on the corrupt state:
+// a corrupt store may only be restored after its damaged files were
+// quarantined.
+func (db *DB) checkRestoreAllowed() error {
+	if !db.corrupt.Load() {
+		return nil
+	}
+	db.corruptMu.Lock()
+	q := db.quarantined
+	db.corruptMu.Unlock()
+	if !q {
+		return ErrQuarantineRequired
+	}
+	return nil
 }
 
 // ringFloorForTest exposes the oldest retained ring sequence to tests.

@@ -11,84 +11,125 @@ import (
 )
 
 // Snapshot files hold a full, sorted dump of the tree so that the WAL can
-// be truncated during compaction. Layout (version 2):
+// be truncated during compaction. Layout (version 3):
 //
-//	[8 bytes magic "SREPSNAP"][4 bytes version][8 bytes sequence number]
-//	[8 bytes history digest at that sequence][8 bytes entry count]
-//	entries: [uvarint key len][key][uvarint value len][value] ...
-//	[4 bytes CRC-32 of everything between magic and trailer]
+//	[8 bytes magic "SREPSNAP"][4 bytes version]
+//	header block:  [4 bytes length = 24][4 bytes CRC-32 of payload]
+//	               [8 bytes sequence][8 bytes history digest][8 bytes entry count]
+//	bucket blocks: [4 bytes length][4 bytes CRC-32 of payload]
+//	               payload: [uvarint key len][key][uvarint value len][value] ...
 //
-// Version 1 files lack the digest field; they decode with a zero digest
-// anchor, which re-roots the chain — correct for a store that has never
-// replicated, and a one-time full resync for one that has.
+// Every block carries its own checksum, so corruption is localized: a
+// scrub names the damaged block, and a decode rejects a block before
+// trusting any entry in it. Blocks hold whole entries (an entry never
+// spans blocks), the writer targets snapshotBlockTarget bytes per block,
+// and no block may exceed maxSnapshotBlock — which also bounds what a
+// reader will allocate from a corrupt or forged length field, the same
+// discipline scanWalFrames applies to WAL frames.
+//
+// Version 2 files carry one whole-file CRC trailer instead of per-block
+// checksums; version 1 additionally lacks the digest field and decodes
+// with a zero digest anchor. Both still open (version-negotiated), so a
+// store written before the format change upgrades in place at its next
+// compaction.
 //
 // A snapshot is written to a temporary file, synced, and renamed into
 // place, then the directory is synced so the rename itself survives a
 // power loss — a rename is atomic but not durable until its parent
-// directory reaches disk, and compaction deletes the WAL right after,
-// so losing the rename would lose the database.
+// directory reaches disk, and compaction swaps the WAL right after, so
+// losing the rename would lose the database.
 //
 // The same byte layout doubles as the replication bootstrap stream: a
 // fresh or hopelessly lagged replica downloads one snapshot stream and
-// then tails WAL batches from its sequence number.
+// then tails WAL batches from its sequence number. Corruption repair
+// reuses the stream in the other direction — a corrupt primary restores
+// itself from a healthy replica's snapshot.
 
 var snapshotMagic = [8]byte{'S', 'R', 'E', 'P', 'S', 'N', 'A', 'P'}
 
 const (
 	snapshotV1      = 1
-	snapshotVersion = 2
+	snapshotV2      = 2
+	snapshotVersion = 3
+
+	// snapshotHeaderLen is the payload length of the v3 header block.
+	snapshotHeaderLen = 24
+	// snapshotBlockTarget is the payload size the writer aims for.
+	snapshotBlockTarget = 64 << 10
+	// maxSnapshotBlock caps a block payload on both sides: the writer
+	// never emits more (a single entry larger than this is refused) and
+	// the reader never allocates more from a length field.
+	maxSnapshotBlock = 1 << 26
 )
 
-type crcWriter struct {
-	w   io.Writer
-	crc uint32
+// writeSnapshotBlock frames one block: length, CRC of the payload, the
+// payload itself.
+func writeSnapshotBlock(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
 }
 
-func (c *crcWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
-	return n, err
-}
-
-// encodeSnapshot writes the full snapshot layout (magic through CRC
-// trailer) for the given tree, sequence number, and history digest to w.
+// encodeSnapshot writes the full v3 snapshot layout for the given tree,
+// sequence number, and history digest to w.
 func encodeSnapshot(w io.Writer, t tree, seq, digest uint64) error {
 	if _, err := w.Write(snapshotMagic[:]); err != nil {
 		return err
 	}
-	cw := &crcWriter{w: w}
-	var hdr [28]byte
-	binary.BigEndian.PutUint32(hdr[0:4], snapshotVersion)
-	binary.BigEndian.PutUint64(hdr[4:12], seq)
-	binary.BigEndian.PutUint64(hdr[12:20], digest)
-	binary.BigEndian.PutUint64(hdr[20:28], uint64(t.Len()))
-	if _, err := cw.Write(hdr[:]); err != nil {
+	var verBuf [4]byte
+	binary.BigEndian.PutUint32(verBuf[:], snapshotVersion)
+	if _, err := w.Write(verBuf[:]); err != nil {
 		return err
 	}
+	var hdr [snapshotHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[0:8], seq)
+	binary.BigEndian.PutUint64(hdr[8:16], digest)
+	binary.BigEndian.PutUint64(hdr[16:24], uint64(t.Len()))
+	if err := writeSnapshotBlock(w, hdr[:]); err != nil {
+		return err
+	}
+
 	var varbuf [binary.MaxVarintLen64]byte
+	block := make([]byte, 0, snapshotBlockTarget+4096)
 	werr := error(nil)
 	t.Ascend(nil, nil, func(k, v []byte) bool {
+		need := 2*binary.MaxVarintLen64 + len(k) + len(v)
+		if need > maxSnapshotBlock {
+			werr = fmt.Errorf("entry of %d bytes exceeds max snapshot block", need)
+			return false
+		}
+		if len(block) > 0 && len(block)+need > maxSnapshotBlock {
+			if werr = writeSnapshotBlock(w, block); werr != nil {
+				return false
+			}
+			block = block[:0]
+		}
 		n := binary.PutUvarint(varbuf[:], uint64(len(k)))
-		if _, werr = cw.Write(varbuf[:n]); werr != nil {
-			return false
-		}
-		if _, werr = cw.Write(k); werr != nil {
-			return false
-		}
+		block = append(block, varbuf[:n]...)
+		block = append(block, k...)
 		n = binary.PutUvarint(varbuf[:], uint64(len(v)))
-		if _, werr = cw.Write(varbuf[:n]); werr != nil {
-			return false
+		block = append(block, varbuf[:n]...)
+		block = append(block, v...)
+		if len(block) >= snapshotBlockTarget {
+			if werr = writeSnapshotBlock(w, block); werr != nil {
+				return false
+			}
+			block = block[:0]
 		}
-		_, werr = cw.Write(v)
-		return werr == nil
+		return true
 	})
 	if werr != nil {
 		return fmt.Errorf("storedb: write snapshot: %w", werr)
 	}
-	var crcBuf [4]byte
-	binary.BigEndian.PutUint32(crcBuf[:], cw.crc)
-	if _, err := w.Write(crcBuf[:]); err != nil {
-		return err
+	if len(block) > 0 {
+		if err := writeSnapshotBlock(w, block); err != nil {
+			return fmt.Errorf("storedb: write snapshot: %w", err)
+		}
 	}
 	return nil
 }
@@ -123,7 +164,7 @@ func writeSnapshot(dir string, t tree, seq, digest uint64) (err error) {
 	if err = fsRename(tmp, final); err != nil {
 		return fmt.Errorf("storedb: install snapshot: %w", err)
 	}
-	// Make the rename durable before the caller deletes the WAL the
+	// Make the rename durable before the caller swaps the WAL the
 	// snapshot replaces.
 	if err = fsSyncDir(dir); err != nil {
 		return fmt.Errorf("storedb: sync snapshot dir: %w", err)
@@ -131,13 +172,167 @@ func writeSnapshot(dir string, t tree, seq, digest uint64) (err error) {
 	return nil
 }
 
+// snapshotReader tracks how many bytes remain readable so length fields
+// taken from the stream can be bounded before any allocation — a
+// corrupt or forged length must never cost a giant buffer. For a file
+// the budget is its actual size; for a network stream (budget < 0) the
+// per-block cap is the only bound.
+type snapshotReader struct {
+	br     *bufio.Reader
+	budget int64 // bytes left; < 0 means unknown
+}
+
+func (s *snapshotReader) full(p []byte) error {
+	if s.budget >= 0 && int64(len(p)) > s.budget {
+		return fmt.Errorf("need %d bytes, %d left in file", len(p), s.budget)
+	}
+	if _, err := io.ReadFull(s.br, p); err != nil {
+		return err
+	}
+	if s.budget >= 0 {
+		s.budget -= int64(len(p))
+	}
+	return nil
+}
+
+// block reads one length-prefixed, CRC-checked block payload.
+func (s *snapshotReader) block() ([]byte, error) {
+	var hdr [8]byte
+	if err := s.full(hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+	if length == 0 || length > maxSnapshotBlock {
+		return nil, fmt.Errorf("block length %d out of range", length)
+	}
+	if s.budget >= 0 && int64(length) > s.budget {
+		return nil, fmt.Errorf("block length %d exceeds %d bytes left in file", length, s.budget)
+	}
+	payload := make([]byte, length)
+	if err := s.full(payload); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, fmt.Errorf("block crc mismatch")
+	}
+	return payload, nil
+}
+
+// parseSnapshotHeader validates the v3 header block payload.
+func parseSnapshotHeader(payload []byte) (seq, digest, count uint64, err error) {
+	if len(payload) != snapshotHeaderLen {
+		return 0, 0, 0, fmt.Errorf("header block is %d bytes, want %d", len(payload), snapshotHeaderLen)
+	}
+	seq = binary.BigEndian.Uint64(payload[0:8])
+	digest = binary.BigEndian.Uint64(payload[8:16])
+	count = binary.BigEndian.Uint64(payload[16:24])
+	return seq, digest, count, nil
+}
+
+// snapshotEntries walks the packed entries of one block payload,
+// calling fn for each key/value pair (slices alias the payload). It
+// enforces the same bounded-length discipline as the block framing:
+// every length is checked against the bytes actually present before it
+// is used.
+func snapshotEntries(payload []byte, fn func(k, v []byte) error) (int, error) {
+	n := 0
+	for len(payload) > 0 {
+		klen, w := binary.Uvarint(payload)
+		if w <= 0 || klen > uint64(len(payload)-w) {
+			return n, fmt.Errorf("bad key length")
+		}
+		payload = payload[w:]
+		key := payload[:klen:klen]
+		payload = payload[klen:]
+		vlen, w := binary.Uvarint(payload)
+		if w <= 0 || vlen > uint64(len(payload)-w) {
+			return n, fmt.Errorf("bad value length")
+		}
+		payload = payload[w:]
+		val := payload[:vlen:vlen]
+		payload = payload[vlen:]
+		if err := fn(key, val); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// decodeSnapshot reads one snapshot stream from r, negotiating the
+// format version. size is the total stream size when known (a file) and
+// <= 0 for a network stream; when known, it bounds every length field
+// against the bytes actually present, exactly as scanWalFrames bounds
+// WAL frame lengths. Each v3 block's CRC is verified before any entry
+// in it is trusted; v1/v2 streams verify their whole-file trailer
+// inline, and callers that cannot two-pass must discard the result on
+// error.
+func decodeSnapshot(r io.Reader, size int64) (tree, uint64, uint64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != snapshotMagic {
+		return tree{}, 0, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	var verBuf [4]byte
+	if _, err := io.ReadFull(br, verBuf[:]); err != nil {
+		return tree{}, 0, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
+	}
+	budget := int64(-1)
+	if size > 0 {
+		budget = size - int64(len(snapshotMagic)) - 4
+	}
+	switch v := binary.BigEndian.Uint32(verBuf[:]); v {
+	case snapshotV1, snapshotV2:
+		return decodeSnapshotLegacy(br, v, budget)
+	case snapshotVersion:
+		// Fall through to the block decode below.
+	default:
+		return tree{}, 0, 0, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
+	}
+
+	sr := &snapshotReader{br: br, budget: budget}
+	hdr, err := sr.block()
+	if err != nil {
+		return tree{}, 0, 0, fmt.Errorf("%w: snapshot header: %v", ErrCorrupt, err)
+	}
+	seq, digest, count, err := parseSnapshotHeader(hdr)
+	if err != nil {
+		return tree{}, 0, 0, fmt.Errorf("%w: snapshot header: %v", ErrCorrupt, err)
+	}
+	var t tree
+	var got uint64
+	for got < count {
+		payload, err := sr.block()
+		if err != nil {
+			return tree{}, 0, 0, fmt.Errorf("%w: snapshot block after entry %d: %v", ErrCorrupt, got, err)
+		}
+		n, err := snapshotEntries(payload, func(k, v []byte) error {
+			if got >= count {
+				return fmt.Errorf("more entries than header count %d", count)
+			}
+			got++
+			t = t.Put(k, v)
+			return nil
+		})
+		if err != nil {
+			return tree{}, 0, 0, fmt.Errorf("%w: snapshot block entry %d: %v", ErrCorrupt, got, err)
+		}
+		if n == 0 {
+			return tree{}, 0, 0, fmt.Errorf("%w: empty snapshot block", ErrCorrupt)
+		}
+	}
+	return t, seq, digest, nil
+}
+
 // crcByteReader reads from a buffered reader while folding every
-// consumed byte into a running CRC, so a stream decode can verify the
-// trailer without buffering the whole snapshot or reading the file
-// twice.
+// consumed byte into a running CRC, so a legacy stream decode can
+// verify the trailer without buffering the whole snapshot or reading
+// the file twice.
 type crcByteReader struct {
-	br  *bufio.Reader
-	crc uint32
+	br     *bufio.Reader
+	crc    uint32
+	budget int64 // bytes left before the trailer; < 0 means unknown
 }
 
 // ReadByte implements io.ByteReader for binary.ReadUvarint.
@@ -147,6 +342,9 @@ func (c *crcByteReader) ReadByte() (byte, error) {
 		return b, err
 	}
 	c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+	if c.budget >= 0 {
+		c.budget--
+	}
 	return b, nil
 }
 
@@ -155,6 +353,9 @@ func (c *crcByteReader) full(p []byte) error {
 		return err
 	}
 	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	if c.budget >= 0 {
+		c.budget -= int64(len(p))
+	}
 	return nil
 }
 
@@ -163,8 +364,14 @@ func (c *crcByteReader) lenPrefixed() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n > maxRecordSize {
+	// Bound the allocation before making it: by the bytes actually
+	// remaining when the stream size is known, and by the block cap
+	// otherwise — a forged length field must never cost a giant buffer.
+	if n > maxSnapshotBlock {
 		return nil, fmt.Errorf("length %d too large", n)
+	}
+	if c.budget >= 0 && int64(n) > c.budget {
+		return nil, fmt.Errorf("length %d exceeds %d bytes left in file", n, c.budget)
 	}
 	buf := make([]byte, n)
 	if err := c.full(buf); err != nil {
@@ -173,23 +380,21 @@ func (c *crcByteReader) lenPrefixed() ([]byte, error) {
 	return buf, nil
 }
 
-// decodeSnapshot reads one snapshot stream from r, verifying the
-// trailer CRC over everything it consumed. It is the read side of
-// encodeSnapshot; callers that cannot two-pass (a network stream) rely
-// on the inline check and must discard the result on error.
-func decodeSnapshot(r io.Reader) (tree, uint64, uint64, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != snapshotMagic {
-		return tree{}, 0, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+// decodeSnapshotLegacy decodes the v1/v2 single-trailer layout. The
+// magic and version have already been consumed; budget counts the bytes
+// after the version field (or -1 when unknown).
+func decodeSnapshotLegacy(br *bufio.Reader, version uint32, budget int64) (tree, uint64, uint64, error) {
+	if budget >= 0 {
+		budget -= 4 // trailer CRC is not part of the entry budget
 	}
-	cr := &crcByteReader{br: br}
+	cr := &crcByteReader{br: br, budget: budget}
+	// The legacy trailer covers the version field too; fold it back in.
 	var verBuf [4]byte
-	if err := cr.full(verBuf[:]); err != nil {
-		return tree{}, 0, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
-	}
+	binary.BigEndian.PutUint32(verBuf[:], version)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, verBuf[:])
+
 	var seq, digest, count uint64
-	switch v := binary.BigEndian.Uint32(verBuf[:]); v {
+	switch version {
 	case snapshotV1:
 		var hdr [16]byte
 		if err := cr.full(hdr[:]); err != nil {
@@ -197,7 +402,7 @@ func decodeSnapshot(r io.Reader) (tree, uint64, uint64, error) {
 		}
 		seq = binary.BigEndian.Uint64(hdr[0:8])
 		count = binary.BigEndian.Uint64(hdr[8:16])
-	case snapshotVersion:
+	case snapshotV2:
 		var hdr [24]byte
 		if err := cr.full(hdr[:]); err != nil {
 			return tree{}, 0, 0, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
@@ -205,8 +410,6 @@ func decodeSnapshot(r io.Reader) (tree, uint64, uint64, error) {
 		seq = binary.BigEndian.Uint64(hdr[0:8])
 		digest = binary.BigEndian.Uint64(hdr[8:16])
 		count = binary.BigEndian.Uint64(hdr[16:24])
-	default:
-		return tree{}, 0, 0, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
 	}
 
 	var t tree
@@ -222,7 +425,7 @@ func decodeSnapshot(r io.Reader) (tree, uint64, uint64, error) {
 		t = t.Put(key, val)
 	}
 	var trailer [4]byte
-	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+	if _, err := io.ReadFull(cr.br, trailer[:]); err != nil {
 		return tree{}, 0, 0, fmt.Errorf("%w: snapshot trailer: %v", ErrCorrupt, err)
 	}
 	if binary.BigEndian.Uint32(trailer[:]) != cr.crc {
@@ -231,40 +434,49 @@ func decodeSnapshot(r io.Reader) (tree, uint64, uint64, error) {
 	return t, seq, digest, nil
 }
 
-// loadSnapshot reads the snapshot in dir, if present. The file's CRC is
-// verified before any entry is trusted. It returns the restored tree,
-// its sequence number, and its history digest anchor; a missing
-// snapshot yields an empty tree at seq 0 with a zero digest.
+// loadSnapshot reads the snapshot in dir, if present. Checksums are
+// verified before any entry is trusted: per block for v3 files, via the
+// whole-file trailer pre-pass for legacy versions. It returns the
+// restored tree, its sequence number, and its history digest anchor; a
+// missing snapshot yields an empty tree at seq 0 with a zero digest.
 func loadSnapshot(dir string) (tree, uint64, uint64, error) {
 	path := filepath.Join(dir, "SNAPSHOT")
-	if _, err := os.Stat(path); os.IsNotExist(err) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
 		return tree{}, 0, 0, nil
 	}
-	if err := verifySnapshotCRC(path); err != nil {
-		return tree{}, 0, 0, err
-	}
-
-	f, err := os.Open(path)
 	if err != nil {
 		return tree{}, 0, 0, fmt.Errorf("storedb: open snapshot: %w", err)
 	}
 	defer f.Close()
-	return decodeSnapshot(f)
-}
-
-// verifySnapshotCRC checks the trailer CRC over the checksummed region
-// (everything between magic and trailer).
-func verifySnapshotCRC(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("storedb: open snapshot for crc: %w", err)
-	}
-	defer f.Close()
 	info, err := f.Stat()
 	if err != nil {
-		return fmt.Errorf("storedb: stat snapshot: %w", err)
+		return tree{}, 0, 0, fmt.Errorf("storedb: stat snapshot: %w", err)
 	}
-	size := info.Size()
+	if v, verr := snapshotFileVersion(f); verr == nil && v < snapshotVersion {
+		if err := verifySnapshotCRC(f, info.Size()); err != nil {
+			return tree{}, 0, 0, err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return tree{}, 0, 0, fmt.Errorf("storedb: seek snapshot: %w", err)
+	}
+	return decodeSnapshot(f, info.Size())
+}
+
+// snapshotFileVersion reads the version field of an open snapshot file,
+// leaving the offset unspecified.
+func snapshotFileVersion(f *os.File) (uint32, error) {
+	var hdr [12]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(hdr[8:12]), nil
+}
+
+// verifySnapshotCRC checks a legacy file's trailer CRC over the
+// checksummed region (everything between magic and trailer).
+func verifySnapshotCRC(f *os.File, size int64) error {
 	if size < int64(len(snapshotMagic))+4 {
 		return fmt.Errorf("%w: snapshot too small", ErrCorrupt)
 	}
@@ -284,4 +496,80 @@ func verifySnapshotCRC(path string) error {
 		return fmt.Errorf("%w: snapshot crc mismatch", ErrCorrupt)
 	}
 	return nil
+}
+
+// scrubSnapshotFile verifies every checksum in the snapshot at path
+// without building a tree: the header block and each bucket block for
+// v3 files, the whole-file trailer for legacy versions. It returns the
+// header's sequence and digest, the number of blocks verified, and on
+// corruption the unit that failed (UnitSnapshotHeader or
+// UnitSnapshotBlock) alongside the error.
+func scrubSnapshotFile(path string) (seq, digest uint64, blocks int, unit string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, UnitSnapshotHeader, fmt.Errorf("storedb: open snapshot for scrub: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, UnitSnapshotHeader, fmt.Errorf("storedb: stat snapshot for scrub: %w", err)
+	}
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	var magic [8]byte
+	if _, rerr := io.ReadFull(br, magic[:]); rerr != nil || magic != snapshotMagic {
+		return 0, 0, 0, UnitSnapshotHeader, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	var verBuf [4]byte
+	if _, rerr := io.ReadFull(br, verBuf[:]); rerr != nil {
+		return 0, 0, 0, UnitSnapshotHeader, fmt.Errorf("%w: truncated snapshot header", ErrCorrupt)
+	}
+	version := binary.BigEndian.Uint32(verBuf[:])
+	if version != snapshotVersion && version != snapshotV1 && version != snapshotV2 {
+		return 0, 0, 0, UnitSnapshotHeader, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, version)
+	}
+	if version < snapshotVersion {
+		// Legacy layout: one trailer covers the whole file, so the file
+		// is a single verifiable unit. Re-verify it and re-read the
+		// header fields.
+		if err := verifySnapshotCRC(f, info.Size()); err != nil {
+			return 0, 0, 0, UnitSnapshotBlock, err
+		}
+		var hdr [36]byte
+		n, _ := f.ReadAt(hdr[:], 0)
+		if version == snapshotV1 && n >= 20 {
+			seq = binary.BigEndian.Uint64(hdr[12:20])
+		} else if version == snapshotV2 && n >= 28 {
+			seq = binary.BigEndian.Uint64(hdr[12:20])
+			digest = binary.BigEndian.Uint64(hdr[20:28])
+		}
+		return seq, digest, 1, "", nil
+	}
+
+	sr := &snapshotReader{br: br, budget: info.Size() - int64(len(snapshotMagic)) - 4}
+	hdr, berr := sr.block()
+	if berr != nil {
+		return 0, 0, 0, UnitSnapshotHeader, fmt.Errorf("%w: snapshot header: %v", ErrCorrupt, berr)
+	}
+	seq, digest, count, perr := parseSnapshotHeader(hdr)
+	if perr != nil {
+		return 0, 0, 0, UnitSnapshotHeader, fmt.Errorf("%w: snapshot header: %v", ErrCorrupt, perr)
+	}
+	blocks = 1
+	var got uint64
+	for got < count {
+		payload, berr := sr.block()
+		if berr != nil {
+			return seq, digest, blocks, UnitSnapshotBlock,
+				fmt.Errorf("%w: snapshot block %d: %v", ErrCorrupt, blocks, berr)
+		}
+		n, eerr := snapshotEntries(payload, func(_, _ []byte) error { return nil })
+		got += uint64(n)
+		if eerr != nil || n == 0 || got > count {
+			return seq, digest, blocks, UnitSnapshotBlock,
+				fmt.Errorf("%w: snapshot block %d structure", ErrCorrupt, blocks)
+		}
+		blocks++
+	}
+	return seq, digest, blocks, "", nil
 }

@@ -41,6 +41,12 @@ func SuperviseReopen(ctx context.Context, db *DB, poll time.Duration, logf func(
 			backoff = minBackoff
 			continue
 		}
+		if h.Corrupt {
+			// Reopen cannot fix provably damaged bytes; repair is the
+			// corrupt state's recovery path (replication.SuperviseRepair).
+			// Spinning reopen attempts here would only burn the backoff.
+			continue
+		}
 		if logf != nil {
 			logf("storedb: storage failed (%s); attempting reopen", h.Cause)
 		}

@@ -341,20 +341,38 @@ type AdmissionClassInfo struct {
 const (
 	StorageOK     = "ok"
 	StorageFailed = "failed"
+	// StorageCorrupt is the sticky corrupt state: a checksum proved
+	// durable bytes wrong. Reads keep serving; writes refuse until the
+	// store is repaired from a healthy peer.
+	StorageCorrupt = "corrupt"
 )
 
 // StorageInfo describes the server's storage write pipeline: whether
-// the store is in its sticky failed (read-only) state and why, how
-// many reopen recoveries have run, and the group-commit counters —
+// the store is in its sticky failed or corrupt (read-only) state and
+// why, how many reopen recoveries have run, the group-commit counters —
 // Batches/Groups is the mean commit-group depth, Fsyncs/Batches the
-// amortized fsync cost per write.
+// amortized fsync cost per write — and the self-healing counters:
+// background compactions, how far the compactor trails the commit head,
+// scrub passes and the checksummed units they verified, and corruption
+// detections.
 type StorageInfo struct {
 	State       string `xml:"state"`
 	LastFailure string `xml:"last-failure,omitempty"`
-	Reopens     uint64 `xml:"reopens"`
-	WALGroups   uint64 `xml:"wal-groups"`
-	WALBatches  uint64 `xml:"wal-batches"`
-	WALFsyncs   uint64 `xml:"wal-fsyncs"`
+	// CorruptUnit names the damaged unit when State is "corrupt":
+	// snapshot-header, snapshot-block, or wal-frame.
+	CorruptUnit  string `xml:"corrupt-unit,omitempty"`
+	Reopens      uint64 `xml:"reopens"`
+	WALGroups    uint64 `xml:"wal-groups"`
+	WALBatches   uint64 `xml:"wal-batches"`
+	WALFsyncs    uint64 `xml:"wal-fsyncs"`
+	Compactions  uint64 `xml:"compactions"`
+	CompactorLag uint64 `xml:"compactor-lag"`
+	ScrubRuns    uint64 `xml:"scrub-runs"`
+	ScrubBlocks  uint64 `xml:"scrub-blocks"`
+	Corruptions  uint64 `xml:"corruptions"`
+	// LastScrubUnix is when the last scrub pass finished; 0 when none
+	// has run.
+	LastScrubUnix int64 `xml:"last-scrub-unix,omitempty"`
 }
 
 // HealthzResponse is the GET /healthz document: enough for a client to
